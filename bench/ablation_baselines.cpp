@@ -1,0 +1,102 @@
+// E-S7 — Baseline design-choice ablations:
+//
+//  B1  channel-selection policy of the basic update scheme (random vs
+//      lowest-first vs round-robin): deterministic lowest-first makes
+//      concurrent requesters collide on the same channel, inflating the
+//      retry count m — the quantity every Table 1 update-family cost is
+//      proportional to;
+//  B2  the retry cap: how the (truncated-)unbounded behaviour of Table 3
+//      surfaces as starvation as the cap shrinks;
+//  B3  replication: headline load-sweep points with mean +/- sd over five
+//      seeds, confirming the single-seed tables are not flukes.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "metrics/table.hpp"
+#include "runner/experiment.hpp"
+
+int main() {
+  using namespace dca;
+  using metrics::Table;
+  using proto::ChannelPick;
+  using runner::Scheme;
+
+  auto base = benchutil::paper_config();
+  base.duration = sim::minutes(15);
+  base.warmup = sim::minutes(2);
+
+  // ---- B1: channel pick policy (basic update) ---------------------------
+  benchutil::heading("B1: basic update channel-selection policy (rho = 0.85)");
+  {
+    Table t({"policy", "drop%", "starved", "mean attempts m", "msgs/call",
+             "AcqT [T]"});
+    for (const ChannelPick p :
+         {ChannelPick::kRandom, ChannelPick::kLowest, ChannelPick::kRoundRobin}) {
+      auto cfg = base;
+      cfg.update_pick = p;
+      const runner::RunResult r =
+          runner::run_uniform(cfg, Scheme::kBasicUpdate, 0.85);
+      if (r.violations != 0) return 1;
+      t.add_row({proto::channel_pick_name(p),
+                 Table::num(100.0 * r.agg.drop_rate(), 2),
+                 std::to_string(r.agg.starved),
+                 Table::num(r.agg.mean_update_attempts, 3),
+                 Table::num(r.agg.messages_per_call.mean(), 1),
+                 Table::num(r.agg.delay_in_T.mean(), 3)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  // ---- B2: latency stress --------------------------------------------------
+  // At T = 5 ms races are rare (requests resolve long before the next
+  // arrival); the update family's m > 1 regime — the 2Tm growth of
+  // Table 1 and the unbounded column of Table 3 — appears when the
+  // control-channel latency is large relative to traffic dynamics.
+  benchutil::heading(
+      "B2: control latency stress (basic update, rho = 0.95, lowest-first)");
+  {
+    Table t({"T [ms]", "drop%", "starved", "mean attempts m", "max attempts",
+             "msgs/call", "AcqT [T] mean"});
+    for (const int t_ms : {5, 100, 500, 2000, 5000}) {
+      auto cfg = base;
+      cfg.latency = sim::milliseconds(t_ms);
+      cfg.update_pick = proto::ChannelPick::kLowest;  // maximize contention
+      const runner::RunResult r =
+          runner::run_uniform(cfg, Scheme::kBasicUpdate, 0.95);
+      if (r.violations != 0) return 1;
+      t.add_row({std::to_string(t_ms), Table::num(100.0 * r.agg.drop_rate(), 2),
+                 std::to_string(r.agg.starved),
+                 Table::num(r.agg.mean_update_attempts, 3),
+                 Table::num(r.agg.attempts.max(), 0),
+                 Table::num(r.agg.messages_per_call.mean(), 1),
+                 Table::num(r.agg.delay_in_T.mean(), 3)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  // ---- B3: replication ----------------------------------------------------
+  benchutil::heading("B3: five-seed replication of headline points (mean +/- sd)");
+  {
+    auto cfg = base;
+    cfg.duration = sim::minutes(10);
+    Table t({"scheme", "rho", "drop% mean", "drop% sd", "msgs/call mean",
+             "msgs/call sd", "AcqT [T] mean", "AcqT [T] sd"});
+    for (const Scheme s :
+         {Scheme::kFca, Scheme::kBasicUpdate, Scheme::kAdaptive}) {
+      for (const double rho : {0.4, 0.85}) {
+        const runner::Replicated rep = runner::run_replicated(cfg, s, rho, 5);
+        if (rep.violations != 0) return 1;
+        t.add_row({runner::scheme_name(s), Table::num(rho, 2),
+                   Table::num(100.0 * rep.drop_rate.mean(), 2),
+                   Table::num(100.0 * rep.drop_rate.stddev(), 2),
+                   Table::num(rep.mean_msgs_per_call.mean(), 1),
+                   Table::num(rep.mean_msgs_per_call.stddev(), 2),
+                   Table::num(rep.mean_delay_in_T.mean(), 3),
+                   Table::num(rep.mean_delay_in_T.stddev(), 4)});
+      }
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+  return 0;
+}

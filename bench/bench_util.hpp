@@ -1,0 +1,40 @@
+// Shared configuration and printing helpers for the reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "runner/experiment.hpp"
+#include "runner/scenario.hpp"
+
+namespace dca::benchutil {
+
+/// The paper-scale default scenario: 8x8 hexagonal grid, interference
+/// radius 2 (minimum reuse distance 3 hops), 70 channels in a cluster-7
+/// plan (|PR_i| = 10), T = 5 ms, exponential holding with mean 180 s.
+inline runner::ScenarioConfig paper_config() {
+  runner::ScenarioConfig c;
+  c.rows = 8;
+  c.cols = 8;
+  c.interference_radius = 2;
+  c.n_channels = 70;
+  c.cluster = 7;
+  c.mean_holding_s = 180.0;
+  c.latency = sim::milliseconds(5);
+  c.seed = 1;
+  c.duration = sim::minutes(30);
+  c.warmup = sim::minutes(5);
+  c.adaptive.theta_low = 2;
+  c.adaptive.theta_high = 4;
+  c.adaptive.alpha = 3;
+  c.adaptive.window = sim::seconds(30);
+  return c;
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+}  // namespace dca::benchutil

@@ -1,0 +1,106 @@
+// E-S9 — Fairness and starvation (paper Section 6: "The algorithm is
+// deadlock free and avoids starvation"; "The algorithm provides fair
+// service to all cells without compromising on any reuse issues").
+//
+// At a high uniform load we measure, per scheme:
+//  * Jain's fairness index over per-cell success rates (1.0 = perfectly
+//    even service);
+//  * the worst-served cell's drop rate vs the mean;
+//  * per-call acquisition-delay tail percentiles (p50/p95/p99/max) —
+//    bounded tails are the other face of no-starvation;
+//  * starved-call counts (update-family retry-cap hits).
+//
+// Runs in the slow-control-plane regime (T = 100 ms) where retries and
+// deferrals actually bite, on the torus so every cell is statistically
+// identical (any unfairness is the scheme's, not the topology's).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "metrics/summary.hpp"
+#include "metrics/table.hpp"
+#include "runner/world.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/profile.hpp"
+
+int main() {
+  using namespace dca;
+  using metrics::Table;
+  using runner::Scheme;
+
+  auto cfg = benchutil::paper_config();
+  cfg.rows = 14;
+  cfg.cols = 14;
+  cfg.wrap = cell::Wrap::kToroidal;
+  cfg.latency = sim::milliseconds(100);
+  cfg.duration = sim::minutes(30);
+  cfg.warmup = sim::minutes(3);
+  const double rho = 0.95;
+
+  benchutil::heading(
+      "Fairness at rho = 0.95, T = 100 ms, 14x14 torus (identical cells)");
+  Table t({"Scheme", "Jain idx", "mean drop%", "worst-cell drop%", "starved",
+           "AcqT p50 [T]", "p95", "p99", "max"});
+
+  for (const Scheme s : runner::kAllSchemes) {
+    runner::World w(cfg, s);
+    const traffic::UniformProfile profile(cfg.arrival_rate_for_load(rho));
+    traffic::TrafficSource src(
+        w.simulator(), w.grid(), profile, cfg.mean_holding_s, cfg.seed,
+        [&w](const traffic::CallSpec& spec) { w.submit_call(spec); });
+    src.start(cfg.duration);
+    w.simulator().run_to_quiescence();
+    if (w.interference_violations() != 0 || !w.quiescent()) {
+      std::fprintf(stderr, "INVARIANT FAILURE in %s\n",
+                   runner::scheme_name(s).c_str());
+      return 1;
+    }
+
+    const auto n = static_cast<std::size_t>(w.grid().n_cells());
+    std::vector<double> offered(n, 0.0), served(n, 0.0);
+    metrics::SampledSummary delay;
+    std::uint64_t starved = 0;
+    const double T = static_cast<double>(w.latency_bound());
+    for (const auto& rec : w.collector().records()) {
+      if (rec.t_request < cfg.warmup) continue;
+      const auto c = static_cast<std::size_t>(rec.cellId);
+      offered[c] += 1.0;
+      if (proto::is_acquired(rec.outcome)) {
+        served[c] += 1.0;
+        delay.add(static_cast<double>(rec.delay()) / T);
+      } else if (rec.outcome == proto::Outcome::kBlockedStarved) {
+        ++starved;
+      }
+    }
+    std::vector<double> success_rate;
+    double drop_sum = 0.0, drop_worst = 0.0;
+    int counted = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (offered[c] < 1.0) continue;
+      const double sr = served[c] / offered[c];
+      success_rate.push_back(sr);
+      drop_sum += 1.0 - sr;
+      drop_worst = std::max(drop_worst, 1.0 - sr);
+      ++counted;
+    }
+    if (counted == 0) {
+      std::fprintf(stderr, "fairness: no cell offered any traffic\n");
+      return 1;
+    }
+    t.add_row({runner::scheme_name(s),
+               Table::num(metrics::jain_index(success_rate), 4),
+               Table::num(100.0 * drop_sum / counted, 2),
+               Table::num(100.0 * drop_worst, 2), std::to_string(starved),
+               Table::num(delay.percentile(50), 2),
+               Table::num(delay.percentile(95), 2),
+               Table::num(delay.percentile(99), 2), Table::num(delay.max(), 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  benchutil::note(
+      "Shape checks: the adaptive scheme's Jain index stays at the top of\n"
+      "the table with zero starved calls and a bounded delay tail, while\n"
+      "the update family shows starvation and longer tails under the same\n"
+      "pressure — the paper's no-starvation/fairness claims.");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// E-S1 — The empirical performance study the paper's introduction promises
+// ("We provide some empirical performance study of the algorithm and
+// compare it with some existing schemes"): call-drop rate, channel
+// acquisition time, and control-message complexity as functions of the
+// offered load, for all five schemes (the paper's four comparands plus the
+// FCA baseline the hybrid degenerates to).
+//
+// Output: three series tables (rows = load points, columns = schemes) in
+// both aligned-console and CSV form, ready for plotting.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "metrics/table.hpp"
+#include "runner/experiment.hpp"
+
+int main() {
+  using namespace dca;
+  using metrics::Table;
+  using runner::Scheme;
+
+  auto cfg = benchutil::paper_config();
+  cfg.duration = sim::minutes(20);
+  cfg.warmup = sim::minutes(4);
+
+  const std::vector<double> rhos{0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 0.95};
+  const std::vector<Scheme> schemes(std::begin(runner::kAllSchemes),
+                                    std::end(runner::kAllSchemes));
+
+  benchutil::heading("Load sweep: uniform Poisson traffic, rho in [0.1, 0.95]");
+  std::printf("grid %dx%d, %d channels, |PR| = %d, T = %.1f ms, %d min simulated\n",
+              cfg.rows, cfg.cols, cfg.n_channels, cfg.n_channels / cfg.cluster,
+              sim::to_milliseconds(cfg.latency),
+              static_cast<int>(cfg.duration / sim::minutes(1)));
+
+  const auto points = runner::sweep_uniform(cfg, schemes, rhos, /*threads=*/1);
+
+  const auto cell_of = [&](Scheme s, double rho) -> const runner::RunResult& {
+    for (const auto& p : points) {
+      if (p.scheme == s && p.rho == rho) return p.result;
+    }
+    std::fprintf(stderr, "missing sweep point\n");
+    std::exit(1);
+  };
+
+  // Safety first: every point must be clean.
+  for (const auto& p : points) {
+    if (p.result.violations != 0 || !p.result.quiescent) {
+      std::fprintf(stderr, "INVARIANT FAILURE at %s rho=%.2f\n",
+                   runner::scheme_name(p.scheme).c_str(), p.rho);
+      return 1;
+    }
+  }
+
+  std::vector<std::string> header{"rho"};
+  for (const Scheme s : schemes) header.push_back(runner::scheme_name(s));
+
+  struct Series {
+    const char* title;
+    double (*value)(const runner::RunResult&);
+    int precision;
+  };
+  const Series series[] = {
+      {"Call drop rate [%]",
+       [](const runner::RunResult& r) { return 100.0 * r.agg.drop_rate(); }, 2},
+      {"Mean channel acquisition time [units of T]",
+       [](const runner::RunResult& r) { return r.agg.delay_in_T.mean(); }, 3},
+      {"Max channel acquisition time [units of T]",
+       [](const runner::RunResult& r) { return r.agg.delay_in_T.max(); }, 1},
+      {"Control messages per call (attributed)",
+       [](const runner::RunResult& r) { return r.agg.messages_per_call.mean(); }, 1},
+      {"Adaptive-local fraction xi1 (adaptive column meaningful)",
+       [](const runner::RunResult& r) { return r.agg.xi1; }, 3},
+  };
+
+  for (const Series& sr : series) {
+    benchutil::heading(sr.title);
+    Table t(header);
+    for (const double rho : rhos) {
+      std::vector<std::string> row{Table::num(rho, 2)};
+      for (const Scheme s : schemes) {
+        row.push_back(Table::num(sr.value(cell_of(s, rho)), sr.precision));
+      }
+      t.add_row(row);
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("CSV:\n%s\n", t.csv().c_str());
+  }
+
+  // ---- message composition at one moderate point --------------------------
+  benchutil::heading("Message composition at rho = 0.70 (share of total sent)");
+  {
+    const char* kind_names[] = {"REQUEST", "RESPONSE", "CHANGE_MODE", "RELEASE",
+                                "ACQUISITION", "TRANSFER"};
+    std::vector<std::string> h{"scheme", "total"};
+    for (const auto* k : kind_names) h.emplace_back(k);
+    Table t(h);
+    for (const Scheme s : schemes) {
+      const auto& r = cell_of(s, 0.7);
+      std::vector<std::string> row{runner::scheme_name(s),
+                                   std::to_string(r.total_messages)};
+      for (int k = 0; k < net::kNumMsgKinds; ++k) {
+        const double share =
+            r.total_messages
+                ? 100.0 *
+                      static_cast<double>(
+                          r.messages_by_kind[static_cast<std::size_t>(k)]) /
+                      static_cast<double>(r.total_messages)
+                : 0.0;
+        row.push_back(Table::num(share, 1) + "%");
+      }
+      t.add_row(row);
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  benchutil::note(
+      "Shape checks: FCA drops most at every load; dynamic schemes converge\n"
+      "to FCA at rho -> 0; adaptive tracks FCA's zero cost at low load and\n"
+      "the search scheme's bounded delay at high load; basic update's\n"
+      "messages/delay grow fastest with load.");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E-S5 — Mobility and handoff: the system-model element of Section 2.1
+// ("when an MH moves out of the cell ... the handoff procedure ensures
+// that the channels ... are relinquished and new channels are acquired").
+//
+// We sweep the mean cell-dwell time from "static users" down to highly
+// mobile ones at a moderate uniform load and report, per scheme, the
+// new-call block rate vs the forced-termination (handoff failure) rate,
+// plus the extra signalling mobility induces.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "metrics/table.hpp"
+#include "runner/experiment.hpp"
+
+int main() {
+  using namespace dca;
+  using metrics::Table;
+  using runner::Scheme;
+
+  auto base = benchutil::paper_config();
+  base.duration = sim::minutes(20);
+  base.warmup = sim::minutes(3);
+  const double rho = 0.6;
+  const std::vector<double> dwells{0.0, 300.0, 120.0, 60.0, 30.0};
+
+  benchutil::heading("Mobility sweep: uniform rho = 0.6, varying mean dwell time");
+  for (const Scheme s :
+       {Scheme::kFca, Scheme::kBasicSearch, Scheme::kAdaptive}) {
+    std::printf("--- %s ---\n", runner::scheme_name(s).c_str());
+    Table t({"mean dwell [s]", "new-call block %", "handoff fail %",
+             "handoffs/call", "msgs/call", "mean AcqT [T]"});
+    for (const double dwell : dwells) {
+      auto cfg = base;
+      cfg.mean_dwell_s = dwell;
+      const runner::RunResult r = runner::run_uniform(cfg, s, rho);
+      if (r.violations != 0 || !r.quiescent) {
+        std::fprintf(stderr, "INVARIANT FAILURE\n");
+        return 1;
+      }
+      // offered includes handoff re-requests; separate the two populations.
+      const double handoffs = static_cast<double>(r.agg.handoff_offered);
+      const double fresh = static_cast<double>(r.agg.offered) - handoffs;
+      const double handoff_fails = static_cast<double>(r.agg.handoff_failures);
+      const double newcall_drops =
+          static_cast<double>(r.agg.blocked + r.agg.starved) - handoff_fails;
+      t.add_row({dwell == 0.0 ? "static" : Table::num(dwell, 0),
+                 Table::num(fresh > 0 ? 100.0 * newcall_drops / fresh : 0.0, 2),
+                 Table::num(handoffs > 0 ? 100.0 * handoff_fails / handoffs : 0.0,
+                            2),
+                 Table::num(fresh > 0 ? handoffs / fresh : 0.0, 2),
+                 Table::num(r.agg.messages_per_call.mean(), 1),
+                 Table::num(r.agg.delay_in_T.mean(), 3)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  benchutil::note(
+      "Shape checks: mobility multiplies channel requests (handoffs/call\n"
+      "grows as dwell shrinks) and adds a forced-termination failure mode;\n"
+      "dynamic schemes absorb it far better than FCA, at a signalling cost.");
+  return 0;
+}

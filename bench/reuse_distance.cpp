@@ -1,0 +1,90 @@
+// E-S8 — Reuse-distance ablation: the capacity/quality trade the paper's
+// "minimum reuse distance" parameter hides.
+//
+// A tighter reuse pattern (smaller cluster) gives every cell more primary
+// channels — less blocking — but packs co-channel cells closer, degrading
+// the worst-case SIR the radio layer must tolerate. We sweep the
+// interference radius (1 -> cluster 3, 2 -> cluster 7, 3 -> greedy
+// colouring since no regular pattern applies), hold the absolute offered
+// load fixed, and report capacity metrics next to the SIR the geometry
+// delivers. All protocols run unmodified at every radius — the plan is a
+// parameter, not an assumption.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "metrics/table.hpp"
+#include "radio/signal.hpp"
+#include "runner/experiment.hpp"
+#include "runner/world.hpp"
+
+int main() {
+  using namespace dca;
+  using metrics::Table;
+  using runner::Scheme;
+
+  struct Config {
+    int radius;
+    bool greedy;
+    int cluster;   // used when !greedy
+    const char* label;
+  };
+  const Config configs[] = {
+      {1, false, 3, "radius 1 / cluster 3"},
+      {2, false, 7, "radius 2 / cluster 7 (paper)"},
+      {3, true, 0, "radius 3 / greedy colouring"},
+  };
+
+  benchutil::heading(
+      "Reuse-distance ablation: fixed 6.0 Erlang/cell absolute offered load");
+  Table t({"plan", "|PR|", "first-tier SIR [dB]", "grid SIR [dB]", "FCA drop%",
+           "Adaptive drop%", "Adaptive msgs/call"});
+
+  for (const Config& c : configs) {
+    auto cfg = benchutil::paper_config();
+    cfg.interference_radius = c.radius;
+    cfg.greedy_plan = c.greedy;
+    if (!c.greedy) cfg.cluster = c.cluster;
+    cfg.duration = sim::minutes(20);
+    cfg.warmup = sim::minutes(3);
+    // theta thresholds scale loosely with the primary pool; keep defaults
+    // valid when |PR| is large.
+    cfg.adaptive.theta_low = 2;
+    cfg.adaptive.theta_high = 4;
+
+    // Peek at the plan geometry via a throwaway world.
+    runner::World probe(cfg, Scheme::kFca);
+    const int n_colors = probe.plan().n_colors();
+    const int pr = probe.plan().primary(probe.grid().n_cells() / 2).size();
+    const auto sir = radio::worst_case_sir(
+        probe.grid(), probe.plan(),
+        (cfg.rows / 2) * cfg.cols + cfg.cols / 2, 4.0);
+    const double tier_sir =
+        radio::first_tier_sir_db(n_colors, 4.0);
+
+    // Fixed ABSOLUTE load: 6 Erlang/cell regardless of |PR|.
+    const double rho = 6.0 / static_cast<double>(cfg.n_channels / cfg.cluster);
+    const double rate = 6.0 / cfg.mean_holding_s;  // calls/s for 6 Erlang
+    (void)rho;
+    const traffic::UniformProfile profile(rate);
+    const runner::RunResult fca = runner::run_profile(cfg, Scheme::kFca, profile);
+    const runner::RunResult ad =
+        runner::run_profile(cfg, Scheme::kAdaptive, profile);
+    if (fca.violations || ad.violations || !fca.quiescent || !ad.quiescent) {
+      std::fprintf(stderr, "INVARIANT FAILURE at radius %d\n", c.radius);
+      return 1;
+    }
+    t.add_row({c.label, std::to_string(pr), Table::num(tier_sir, 1),
+               Table::num(sir.sir_db, 1), Table::num(100 * fca.agg.drop_rate(), 2),
+               Table::num(100 * ad.agg.drop_rate(), 2),
+               Table::num(ad.agg.messages_per_call.mean(), 1)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  benchutil::note(
+      "Shape checks: cluster 3 triples the primary pool (blocking collapses)\n"
+      "but its ~13 dB worst-case SIR is below the 18 dB analog threshold —\n"
+      "the radio layer, not the protocol, dictates the paper's cluster-7\n"
+      "choice. The whole protocol stack runs unmodified at radius 3 with a\n"
+      "greedy (irregular) reuse plan.");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// E-T2 — Reproduction of the paper's Table 2: "Comparison of Different
+// Algorithms under Low Load".
+//
+// Paper's claim (N = interference degree, T = one-way latency):
+//
+//   | Algorithm           | Message Complexity | Channel Acquisition |
+//   |---------------------|--------------------|---------------------|
+//   | Basic Search        | 2N                 | 2T                  |
+//   | Basic Update        | 4N                 | 2T                  |
+//   | Advanced Update     | 2N                 | 0                   |
+//   | Adaptive (Proposed) | 0                  | 0                   |
+//
+// We print the analytic row and, next to it, the same quantities measured
+// from a uniformly low-load simulation (rho = 0.1 Erlang/cell normalized
+// to the primary pool). Note on basic search: the measured count includes
+// the decision announcement the handshake needs for safety (~3N); the
+// paper charges only request+response (2N). See DESIGN.md note 6.
+#include <cstdio>
+
+#include "analysis/formulas.hpp"
+#include "bench_util.hpp"
+#include "metrics/table.hpp"
+#include "runner/experiment.hpp"
+
+int main() {
+  using namespace dca;
+  using metrics::Table;
+  using runner::Scheme;
+
+  auto cfg = benchutil::paper_config();
+  const double rho = 0.1;
+
+  benchutil::heading("Table 2: comparison under uniformly low load (rho = 0.1)");
+  std::printf("grid %dx%d, %d channels, cluster %d, T = %.1f ms, N = 18 interior\n\n",
+              cfg.rows, cfg.cols, cfg.n_channels, cfg.cluster,
+              sim::to_milliseconds(cfg.latency));
+
+  analysis::ModelParams mp;  // Table 2 premises; N = 18
+  mp.N = 18;
+
+  Table t({"Algorithm", "Msg paper", "Msg measured", "AcqT paper [T]",
+           "AcqT measured [T]", "drop%"});
+
+  const struct Row {
+    Scheme scheme;
+    const char* name;
+    analysis::Cost paper;
+  } rows[] = {
+      {Scheme::kBasicSearch, "Basic Search", analysis::basic_search_low_load(mp)},
+      {Scheme::kBasicUpdate, "Basic Update", analysis::basic_update_low_load(mp)},
+      {Scheme::kAdvancedUpdate, "Advanced Update",
+       analysis::advanced_update_low_load(mp)},
+      {Scheme::kAdaptive, "Adaptive (Proposed)", analysis::adaptive_low_load(mp)},
+  };
+
+  for (const auto& row : rows) {
+    const runner::RunResult r = runner::run_uniform(cfg, row.scheme, rho);
+    if (r.violations != 0 || !r.quiescent) {
+      std::fprintf(stderr, "INVARIANT FAILURE in %s\n", row.name);
+      return 1;
+    }
+    t.add_row({row.name, Table::num(row.paper.messages, 0),
+               Table::num(r.agg.messages_per_call.mean(), 1),
+               Table::num(row.paper.time_in_T, 0),
+               Table::num(r.agg.delay_in_T.mean(), 2),
+               Table::num(100.0 * r.agg.drop_rate(), 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  benchutil::note(
+      "Measured means on the bounded 8x8 grid track the formulas with the\n"
+      "grid's MEAN interference degree (~13.6) rather than the interior\n"
+      "N = 18 — boundary cells have smaller neighbourhoods.");
+
+  // ---- boundary-free verification on a torus -----------------------------
+  // With wraparound, every cell has exactly N = 18 interference neighbours
+  // and the measured costs match the closed forms exactly.
+  benchutil::heading("Table 2 on a 14x14 torus (every cell sees N = 18)");
+  auto torus = cfg;
+  torus.rows = 14;
+  torus.cols = 14;
+  torus.wrap = cell::Wrap::kToroidal;
+
+  Table tt({"Algorithm", "Msg paper", "Msg measured", "AcqT paper [T]",
+            "AcqT measured [T]"});
+  for (const auto& row : rows) {
+    const runner::RunResult r = runner::run_uniform(torus, row.scheme, rho);
+    if (r.violations != 0 || !r.quiescent) {
+      std::fprintf(stderr, "INVARIANT FAILURE in %s (torus)\n", row.name);
+      return 1;
+    }
+    tt.add_row({row.name, Table::num(row.paper.messages, 0),
+                Table::num(r.agg.messages_per_call.mean(), 1),
+                Table::num(row.paper.time_in_T, 0),
+                Table::num(r.agg.delay_in_T.mean(), 2)});
+  }
+  std::printf("%s\n", tt.render().c_str());
+
+  benchutil::note(
+      "Shape check: adaptive ~0 messages and ~0 acquisition time; advanced\n"
+      "update pays broadcasts but no latency; search/update pay a 2T round\n"
+      "trip on every call. Basic-search measured includes the decision\n"
+      "announcement (3N = 54 vs the paper's 2N accounting).");
+  return 0;
+}

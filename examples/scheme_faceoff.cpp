@@ -1,0 +1,49 @@
+// Scheme face-off: run all five allocation schemes on identical traffic
+// and print a side-by-side comparison — a one-command tour of the design
+// space the paper surveys (static vs search vs update vs hybrid).
+//
+//   $ ./scheme_faceoff [rho]
+#include <cstdio>
+#include <cstdlib>
+
+#include "metrics/table.hpp"
+#include "runner/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dca;
+  using metrics::Table;
+
+  runner::ScenarioConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 8;
+  cfg.n_channels = 70;
+  cfg.cluster = 7;
+  cfg.duration = sim::minutes(15);
+  cfg.warmup = sim::minutes(2);
+
+  const double rho = argc > 1 ? std::atof(argv[1]) : 0.7;
+  std::printf("Face-off at rho = %.2f Erlang/cell (paired traffic, seed %llu)\n\n",
+              rho, static_cast<unsigned long long>(cfg.seed));
+
+  Table t({"Scheme", "drop%", "mean AcqT [T]", "p-max AcqT [T]", "msgs/call",
+           "starved", "events"});
+  for (const runner::Scheme s : runner::kAllSchemes) {
+    const runner::RunResult r = runner::run_uniform(cfg, s, rho);
+    if (r.violations != 0) {
+      std::fprintf(stderr, "INVARIANT VIOLATION in %s\n",
+                   runner::scheme_name(s).c_str());
+      return 1;
+    }
+    t.add_row({runner::scheme_name(s), Table::num(100.0 * r.agg.drop_rate(), 2),
+               Table::num(r.agg.delay_in_T.mean(), 3),
+               Table::num(r.agg.delay_in_T.max(), 1),
+               Table::num(r.agg.messages_per_call.mean(), 1),
+               std::to_string(r.agg.starved),
+               std::to_string(r.executed_events)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Reading guide: FCA = zero cost but most drops; Basic Search = flat\n"
+              "2T latency tax; Basic Update = message tax that grows with load;\n"
+              "Adaptive = near-zero cost at low load, bounded at high load.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Classical teletraffic closed forms.
+//
+// Under FCA, each cell is an independent M/M/c/c loss system (c = |PR_i|
+// trunks, offered load a = lambda * holding Erlangs), so its blocking
+// probability is the Erlang-B formula. This gives the simulator a
+// ground-truth anchor: the measured FCA drop rate must converge to
+// Erlang-B — a validation the property suite enforces.
+#pragma once
+
+namespace dca::analysis {
+
+/// Erlang-B blocking probability for `servers` trunks offered `erlangs` of
+/// traffic. Uses the standard numerically stable recurrence
+///   B(0, a) = 1;  B(c, a) = a B(c-1, a) / (c + a B(c-1, a)).
+/// Domain: servers >= 0, erlangs >= 0.
+[[nodiscard]] inline double erlang_b(int servers, double erlangs) {
+  if (servers <= 0) return 1.0;
+  if (erlangs <= 0.0) return 0.0;
+  double b = 1.0;
+  for (int c = 1; c <= servers; ++c) {
+    b = erlangs * b / (static_cast<double>(c) + erlangs * b);
+  }
+  return b;
+}
+
+/// Carried load (Erlangs actually served) of an M/M/c/c system.
+[[nodiscard]] inline double erlang_carried(int servers, double erlangs) {
+  return erlangs * (1.0 - erlang_b(servers, erlangs));
+}
+
+/// Smallest trunk count whose Erlang-B blocking is <= `target` for the
+/// given offered load (simple dimensioning helper).
+[[nodiscard]] inline int erlang_servers_for(double erlangs, double target) {
+  int c = 0;
+  while (erlang_b(c, erlangs) > target && c < 100000) ++c;
+  return c;
+}
+
+}  // namespace dca::analysis

@@ -1,0 +1,65 @@
+#include "analysis/formulas.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dca::analysis {
+
+// -- Table 1 ------------------------------------------------------------------
+
+Cost basic_search_general(const ModelParams& p) {
+  return Cost{2 * p.N, p.N_search + 1};
+}
+
+Cost basic_update_general(const ModelParams& p) {
+  return Cost{2 * p.N * p.m + 2 * p.N, 2 * p.m};
+}
+
+Cost advanced_update_general(const ModelParams& p) {
+  const double borrow_fraction = 1.0 - p.xi1;
+  const double m_eff = p.m >= 1.0 ? p.m : 1.0;  // at least one handshake when borrowing
+  return Cost{borrow_fraction * (2 * p.n_p * m_eff + p.n_p * (m_eff - 1)) + 2 * p.N,
+              borrow_fraction * 2 * p.m};
+}
+
+Cost adaptive_general(const ModelParams& p) {
+  const double messages =
+      2 * p.xi1 * p.N_borrow + 3 * p.xi2 * p.m * p.N + p.xi3 * (3 * p.alpha + 4) * p.N;
+  const double time = 2 * p.m * p.xi2 + (2 * p.alpha + p.N_search + 1) * p.xi3;
+  return Cost{messages, time};
+}
+
+// -- Table 2 ------------------------------------------------------------------
+
+Cost basic_search_low_load(const ModelParams& p) { return Cost{2 * p.N, 2}; }
+Cost basic_update_low_load(const ModelParams& p) { return Cost{4 * p.N, 2}; }
+Cost advanced_update_low_load(const ModelParams& p) { return Cost{2 * p.N, 0}; }
+Cost adaptive_low_load(const ModelParams&) { return Cost{0, 0}; }
+
+// -- Table 3 ------------------------------------------------------------------
+
+Bounds basic_search_bounds(const ModelParams& p) {
+  return Bounds{Cost{2 * p.N, 2}, Cost{2 * p.N, p.N + 1}};
+}
+
+Bounds basic_update_bounds(const ModelParams& p) {
+  return Bounds{Cost{2 * p.N, 2}, Cost{kUnbounded, kUnbounded}};
+}
+
+Bounds advanced_update_bounds(const ModelParams& p) {
+  return Bounds{Cost{p.N, 0}, Cost{kUnbounded, kUnbounded}};
+}
+
+Bounds adaptive_bounds(const ModelParams& p) {
+  return Bounds{Cost{0, 0},
+                Cost{2 * p.alpha * p.N + 4 * p.N, 2 * p.alpha * p.N + 1}};
+}
+
+std::string format_bound(double v, int precision) {
+  if (std::isinf(v)) return "inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace dca::analysis

@@ -1,0 +1,88 @@
+// Static channel-reuse plans: the assignment of primary channel sets PR_i
+// to cells.
+//
+// A reuse plan is a proper colouring of the interference graph (no two
+// cells within the interference radius share a colour) together with a
+// partition of the spectrum into one channel class per colour. Cell i's
+// primary set PR_i is the class of its colour; the *primary cells* of a
+// channel r are all cells coloured with r's class — the notion the
+// advanced-update scheme's NP(c, r) is built from.
+//
+// Two constructions are provided:
+//  * cluster(): the classical regular pattern for cluster sizes 3 and 7
+//    (the (i,j) = (1,1) and (2,1) shift patterns). Cluster 7 gives
+//    co-channel hop distance 3, sufficient for interference radius 2 —
+//    the configuration used throughout the paper's setting.
+//  * greedy(): a greedy colouring of the interference graph for arbitrary
+//    grids/radii, useful when no regular pattern applies.
+#pragma once
+
+#include <vector>
+
+#include "cell/grid.hpp"
+#include "cell/spectrum.hpp"
+
+namespace dca::cell {
+
+class ReusePlan {
+ public:
+  /// Regular pattern for cluster_size in {3, 7}. Requires that the pattern
+  /// is valid for the grid's interference radius (cluster 3 supports
+  /// radius 1, cluster 7 supports radius 2); asserts otherwise.
+  static ReusePlan cluster(const HexGrid& grid, int n_channels, int cluster_size);
+
+  /// Greedy colouring in id order; works for any radius. The number of
+  /// colour classes is whatever the greedy needs (reported by n_colors()).
+  static ReusePlan greedy(const HexGrid& grid, int n_channels);
+
+  [[nodiscard]] int n_channels() const noexcept { return n_channels_; }
+  [[nodiscard]] int n_colors() const noexcept { return n_colors_; }
+
+  /// Colour class of a cell.
+  [[nodiscard]] int color_of(CellId c) const {
+    return color_[static_cast<std::size_t>(c)];
+  }
+
+  /// Colour class that owns a channel.
+  [[nodiscard]] int color_of_channel(ChannelId ch) const noexcept {
+    return static_cast<int>(ch) % n_colors_;
+  }
+
+  /// Primary channel set PR_i.
+  [[nodiscard]] const ChannelSet& primary(CellId c) const {
+    return primary_[static_cast<std::size_t>(c)];
+  }
+
+  /// True iff channel ch is primary for cell c.
+  [[nodiscard]] bool is_primary(CellId c, ChannelId ch) const {
+    return color_of(c) == color_of_channel(ch);
+  }
+
+  /// All cells for which ch is a primary channel, ascending by id.
+  [[nodiscard]] const std::vector<CellId>& primary_cells_of(ChannelId ch) const {
+    return cells_of_color_[static_cast<std::size_t>(color_of_channel(ch))];
+  }
+
+  /// NP(c, r): the primary cells of channel r inside IN_c (the advanced
+  /// update scheme's request targets). Does not include c itself even if c
+  /// is primary for r.
+  [[nodiscard]] std::vector<CellId> primaries_in_interference(const HexGrid& grid,
+                                                              CellId c,
+                                                              ChannelId r) const;
+
+  /// Verifies the colouring is proper for the grid (no interfering pair
+  /// shares a colour) and the channel partition is exact. Returns true on
+  /// success; used by tests and the runner's startup checks.
+  [[nodiscard]] bool validate(const HexGrid& grid) const;
+
+ private:
+  ReusePlan(const HexGrid& grid, int n_channels, std::vector<int> colors, int n_colors);
+
+  int n_channels_ = 0;
+  int n_colors_ = 0;
+  std::vector<int> color_;                        // by cell id
+  std::vector<ChannelSet> primary_;               // by cell id
+  std::vector<std::vector<CellId>> cells_of_color_;  // by colour
+};
+
+}  // namespace dca::cell

@@ -1,0 +1,188 @@
+// Channel identifiers and dense channel sets.
+//
+// The wireless spectrum is divided into n channels numbered 0..n-1
+// (the paper numbers 1..n; we use 0-based ids internally and print 1-based
+// where it matters). ChannelSet is a fixed-capacity bitset sized for up to
+// kMaxChannels channels with a runtime universe size; all the per-node
+// bookkeeping sets of the protocols (Use_i, U_j, I_i, PR_i, ...) are
+// ChannelSets, so set algebra (union, minus, intersect, first-free) is a
+// handful of word operations.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dca::cell {
+
+/// Index of a wireless channel; kNoChannel means "none".
+using ChannelId = std::int32_t;
+inline constexpr ChannelId kNoChannel = -1;
+
+/// Upper bound on spectrum size supported by ChannelSet.
+inline constexpr int kMaxChannels = 512;
+
+class ChannelSet {
+ public:
+  ChannelSet() = default;
+
+  /// Empty set over a universe of `universe` channels (0..universe-1).
+  explicit ChannelSet(int universe) : universe_(universe) {
+    assert(universe >= 0 && universe <= kMaxChannels);
+  }
+
+  /// Full set {0, ..., universe-1}.
+  static ChannelSet all(int universe) {
+    ChannelSet s(universe);
+    for (int w = 0; w < kWords; ++w) s.bits_[static_cast<std::size_t>(w)] = ~0ull;
+    s.trim();
+    return s;
+  }
+
+  [[nodiscard]] int universe() const noexcept { return universe_; }
+
+  [[nodiscard]] bool contains(ChannelId c) const noexcept {
+    if (c < 0 || c >= universe_) return false;
+    return (word(c) >> bit(c)) & 1ull;
+  }
+
+  void insert(ChannelId c) noexcept {
+    assert(c >= 0 && c < universe_);
+    word(c) |= (1ull << bit(c));
+  }
+
+  void erase(ChannelId c) noexcept {
+    if (c < 0 || c >= universe_) return;
+    word(c) &= ~(1ull << bit(c));
+  }
+
+  void clear() noexcept { bits_.fill(0); }
+
+  [[nodiscard]] int size() const noexcept {
+    int n = 0;
+    for (auto w : bits_) n += std::popcount(w);
+    return n;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    for (auto w : bits_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  /// Smallest channel id in the set, or kNoChannel when empty.
+  [[nodiscard]] ChannelId first() const noexcept {
+    for (int w = 0; w < kWords; ++w) {
+      const std::uint64_t v = bits_[static_cast<std::size_t>(w)];
+      if (v != 0) return static_cast<ChannelId>(w * 64 + std::countr_zero(v));
+    }
+    return kNoChannel;
+  }
+
+  /// Smallest channel id strictly greater than `c`, or kNoChannel.
+  [[nodiscard]] ChannelId next_after(ChannelId c) const noexcept {
+    ChannelId start = c + 1;
+    if (start < 0) start = 0;
+    if (start >= universe_) return kNoChannel;
+    int w = start / 64;
+    std::uint64_t v = bits_[static_cast<std::size_t>(w)] &
+                      (~0ull << static_cast<unsigned>(start % 64));
+    while (true) {
+      if (v != 0) return static_cast<ChannelId>(w * 64 + std::countr_zero(v));
+      if (++w >= kWords) return kNoChannel;
+      v = bits_[static_cast<std::size_t>(w)];
+    }
+  }
+
+  /// Materializes the members in increasing order.
+  [[nodiscard]] std::vector<ChannelId> to_vector() const {
+    std::vector<ChannelId> out;
+    out.reserve(static_cast<std::size_t>(size()));
+    for (ChannelId c = first(); c != kNoChannel; c = next_after(c)) out.push_back(c);
+    return out;
+  }
+
+  // -- set algebra (universes must match; asserts in debug builds) -----------
+
+  ChannelSet& operator|=(const ChannelSet& o) noexcept {
+    assert(universe_ == o.universe_);
+    for (int w = 0; w < kWords; ++w)
+      bits_[static_cast<std::size_t>(w)] |= o.bits_[static_cast<std::size_t>(w)];
+    return *this;
+  }
+  ChannelSet& operator&=(const ChannelSet& o) noexcept {
+    assert(universe_ == o.universe_);
+    for (int w = 0; w < kWords; ++w)
+      bits_[static_cast<std::size_t>(w)] &= o.bits_[static_cast<std::size_t>(w)];
+    return *this;
+  }
+  ChannelSet& operator-=(const ChannelSet& o) noexcept {
+    assert(universe_ == o.universe_);
+    for (int w = 0; w < kWords; ++w)
+      bits_[static_cast<std::size_t>(w)] &= ~o.bits_[static_cast<std::size_t>(w)];
+    return *this;
+  }
+
+  friend ChannelSet operator|(ChannelSet a, const ChannelSet& b) { return a |= b; }
+  friend ChannelSet operator&(ChannelSet a, const ChannelSet& b) { return a &= b; }
+  friend ChannelSet operator-(ChannelSet a, const ChannelSet& b) { return a -= b; }
+
+  /// Complement within the universe.
+  [[nodiscard]] ChannelSet complement() const {
+    ChannelSet out = all(universe_);
+    out -= *this;
+    return out;
+  }
+
+  [[nodiscard]] bool intersects(const ChannelSet& o) const noexcept {
+    assert(universe_ == o.universe_);
+    for (int w = 0; w < kWords; ++w)
+      if (bits_[static_cast<std::size_t>(w)] & o.bits_[static_cast<std::size_t>(w)])
+        return true;
+    return false;
+  }
+
+  friend bool operator==(const ChannelSet& a, const ChannelSet& b) noexcept {
+    return a.universe_ == b.universe_ && a.bits_ == b.bits_;
+  }
+
+  /// Debug rendering, e.g. "{0,3,17}".
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "{";
+    bool firstItem = true;
+    for (ChannelId c = first(); c != kNoChannel; c = next_after(c)) {
+      if (!firstItem) s += ',';
+      s += std::to_string(c);
+      firstItem = false;
+    }
+    s += '}';
+    return s;
+  }
+
+ private:
+  static constexpr int kWords = kMaxChannels / 64;
+
+  std::uint64_t& word(ChannelId c) noexcept {
+    return bits_[static_cast<std::size_t>(c / 64)];
+  }
+  [[nodiscard]] const std::uint64_t& word(ChannelId c) const noexcept {
+    return bits_[static_cast<std::size_t>(c / 64)];
+  }
+  static constexpr unsigned bit(ChannelId c) noexcept {
+    return static_cast<unsigned>(c % 64);
+  }
+
+  // Zeroes bits at or beyond universe_.
+  void trim() noexcept {
+    for (int c = universe_; c < kMaxChannels; ++c)
+      bits_[static_cast<std::size_t>(c / 64)] &= ~(1ull << bit(c));
+  }
+
+  int universe_ = 0;
+  std::array<std::uint64_t, kWords> bits_{};
+};
+
+}  // namespace dca::cell

@@ -1,0 +1,670 @@
+#include "core/adaptive.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace dca::core {
+
+using cell::CellId;
+using cell::ChannelId;
+using cell::ChannelSet;
+using cell::kNoCell;
+using cell::kNoChannel;
+using proto::Outcome;
+
+AdaptiveNode::AdaptiveNode(const proto::NodeContext& ctx, const AdaptiveParams& params)
+    : AllocatorNode(ctx),
+      params_(params),
+      nfc_(params.window),
+      borrowed_(ctx.plan->n_channels()) {
+  params_.check();
+  known_use_.assign(static_cast<std::size_t>(grid().n_cells()),
+                    ChannelSet(spectrum_size()));
+  pending_grants_.assign(static_cast<std::size_t>(grid().n_cells()),
+                         ChannelSet(spectrum_size()));
+}
+
+ChannelSet AdaptiveNode::interfered() const {
+  ChannelSet out(spectrum_size());
+  for (const CellId j : interference()) {
+    out |= known_use_[static_cast<std::size_t>(j)];
+    out |= pending_grants_[static_cast<std::size_t>(j)];
+  }
+  return out;
+}
+
+int AdaptiveNode::free_primary_count() const {
+  return (primary() - use_ - interfered()).size();
+}
+
+ChannelId AdaptiveNode::free_primary() const {
+  return (primary() - use_ - interfered()).first();
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2: Request_Channel as a state machine
+// ---------------------------------------------------------------------------
+
+void AdaptiveNode::start_request(std::uint64_t serial) {
+  assert(!req_.has_value());
+  Request r;
+  r.serial = serial;
+  r.ts = clock_.tick();
+  req_ = r;
+  proceed();
+}
+
+void AdaptiveNode::proceed() {
+  assert(req_.has_value());
+
+  // waiting/pending gate: while a neighbour's search decision is pending we
+  // must not perform a zero-message acquisition (the searcher could pick
+  // the same channel). The paper applies this gate in local mode; we apply
+  // it in borrowing mode too — its Theorem 1 argument needs it there as
+  // well (DESIGN.md note on deviations).
+  if (!awaiting_.empty()) {
+    req_->phase = Phase::kWaitQuiet;
+    return;
+  }
+
+  if (mode_ == 0) {
+    const ChannelId r = free_primary();
+    if (r != kNoChannel) {
+      finish_request(r, 0, Outcome::kAcquiredLocal);
+      return;
+    }
+    // No free primary: with s = 0 the predictor is below any θ_l >= 1, so
+    // check_mode() switches us to borrowing and announces it.
+    check_mode();
+    if (mode_ == 0) {
+      // Defensive: never strand a request in local mode without primaries.
+      mode_ = 1;
+      ++to_borrowing_;
+      ++change_wave_;
+      net::Message cm;
+      cm.kind = net::MsgKind::kChangeMode;
+      cm.mode = 1;
+      cm.wave = change_wave_;
+      cm.serial = req_->serial;
+      send_to_interference(cm);
+    }
+    req_->phase = Phase::kWaitStatus;
+    req_->wave = change_wave_;
+    req_->statuses = 0;
+    if (interference().empty()) proceed();  // nobody to hear from
+    return;
+  }
+
+  // Borrowing mode: primaries still come first and instantly.
+  const ChannelId r = free_primary();
+  if (r != kNoChannel) {
+    finish_request(r, 1, Outcome::kAcquiredLocal);
+    return;
+  }
+
+  ++req_->rounds;
+  if (req_->rounds <= params_.alpha) {
+    const CellId lender = best_lender();
+    if (lender != kNoCell) {
+      const ChannelId ch = pick_borrow_channel(lender);
+      if (ch != kNoChannel) {
+        begin_update_round(ch);
+        return;
+      }
+    }
+  }
+  begin_search_round();
+}
+
+void AdaptiveNode::begin_update_round(ChannelId ch) {
+  assert(req_.has_value());
+  assert(!interference().empty());
+  mode_ = 2;
+  req_->phase = Phase::kUpdateRound;
+  req_->channel = ch;
+  req_->responses = 0;
+  req_->rejected = false;
+  req_->granters.clear();
+
+  net::Message msg;
+  msg.kind = net::MsgKind::kRequest;
+  msg.req_type = net::ReqType::kUpdate;
+  msg.serial = req_->serial;
+  msg.channel = ch;
+  msg.ts = req_->ts;
+  send_to_interference(msg);
+}
+
+void AdaptiveNode::begin_search_round() {
+  assert(req_.has_value());
+  mode_ = 3;
+  req_->phase = Phase::kSearchRound;
+  req_->channel = kNoChannel;
+  req_->responses = 0;
+
+  net::Message msg;
+  msg.kind = net::MsgKind::kRequest;
+  msg.req_type = net::ReqType::kSearch;
+  msg.serial = req_->serial;
+  msg.ts = req_->ts;
+  send_to_interference(msg);
+
+  if (interference().empty()) {
+    const ChannelSet freeSet = ChannelSet::all(spectrum_size()) - use_;
+    conclude_search_round(freeSet.first());
+  }
+}
+
+void AdaptiveNode::conclude_update_round() {
+  assert(req_.has_value() && req_->phase == Phase::kUpdateRound);
+  if (!req_->rejected) {
+    finish_request(req_->channel, 2, Outcome::kAcquiredUpdate);
+    return;
+  }
+  // Rejected: fall back to borrowing-idle, return the grants we collected,
+  // and retry (Fig. 2's recursive Request_Channel call).
+  mode_ = 1;
+  for (const CellId j : req_->granters) {
+    net::Message rel;
+    rel.kind = net::MsgKind::kRelease;
+    rel.serial = req_->serial;
+    rel.channel = req_->channel;
+    rel.from = id();
+    rel.to = j;
+    env().send(rel);
+  }
+  req_->granters.clear();
+  req_->channel = kNoChannel;
+  proceed();
+}
+
+void AdaptiveNode::conclude_search_round(ChannelId r) {
+  assert(req_.has_value() && req_->phase == Phase::kSearchRound);
+  finish_request(r, 3,
+                 r != kNoChannel ? Outcome::kAcquiredSearch : Outcome::kBlockedNoChannel);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3: acquire()
+// ---------------------------------------------------------------------------
+
+void AdaptiveNode::finish_request(ChannelId r, int prev_mode, Outcome how) {
+  assert(req_.has_value());
+  const Request done = *req_;
+  req_.reset();
+
+  if (r != kNoChannel) {
+    use_.insert(r);
+    if (!plan().is_primary(id(), r)) borrowed_.insert(r);
+  }
+
+  switch (prev_mode) {
+    case 0:
+    case 1:
+      // Local acquisition: only neighbours in borrowing mode care.
+      if (r != kNoChannel) {
+        net::Message acq;
+        acq.kind = net::MsgKind::kAcquisition;
+        acq.acq_type = net::AcqType::kNonSearch;
+        acq.serial = done.serial;
+        acq.channel = r;
+        acq.from = id();
+        for (const CellId j : update_set_) {
+          acq.to = j;
+          env().send(acq);
+        }
+      }
+      break;
+    case 2:
+      // Every neighbour granted explicitly; the grants already updated
+      // their bookkeeping, no announcement needed.
+      mode_ = 1;
+      break;
+    case 3: {
+      // The search announcement goes out even on failure (r == kNoChannel):
+      // neighbours that answered us decrement their waiting counters on it.
+      net::Message acq;
+      acq.kind = net::MsgKind::kAcquisition;
+      acq.acq_type = net::AcqType::kSearch;
+      acq.serial = done.serial;
+      acq.channel = r;
+      send_to_interference(acq);
+      mode_ = 1;
+      break;
+    }
+    default:
+      assert(false);
+  }
+
+  drain_deferq();
+  if (prev_mode == 0) check_mode();
+
+  if (r != kNoChannel) {
+    complete_acquired(done.serial, r, how, done.rounds);
+  } else {
+    complete_blocked(done.serial, how, done.rounds);
+  }
+}
+
+void AdaptiveNode::drain_deferq() {
+  while (!defer_.empty()) {
+    const DeferredReq d = defer_.front();
+    defer_.pop_front();
+    if (d.type == net::ReqType::kUpdate) {
+      if (use_.contains(d.channel)) {
+        send_reject(d.from, d.serial, d.channel);
+      } else {
+        send_grant(d.from, d.serial, d.channel);
+      }
+    } else {
+      awaiting_.insert(d.from);
+      send_use_reply(d.from, d.serial, net::ResType::kSearchReply);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4: Receive_Request
+// ---------------------------------------------------------------------------
+
+void AdaptiveNode::handle_request(const net::Message& msg) {
+  if (msg.req_type == net::ReqType::kUpdate) {
+    handle_update_request(msg);
+  } else {
+    handle_search_request(msg);
+  }
+}
+
+void AdaptiveNode::handle_update_request(const net::Message& msg) {
+  const ChannelId q = msg.channel;
+  switch (mode_) {
+    case 0:
+    case 1:
+      if (use_.contains(q)) {
+        send_reject(msg.from, msg.serial, q);
+      } else {
+        send_grant(msg.from, msg.serial, q);
+        check_mode();
+      }
+      break;
+    case 2: {
+      assert(req_.has_value());
+      const bool same_channel = (q == req_->channel);
+      const bool ours_older = req_->ts < msg.ts;
+      const bool reject_conflict =
+          params_.strict_fig4 ? ours_older : (same_channel && ours_older);
+      if (use_.contains(q) || reject_conflict) {
+        send_reject(msg.from, msg.serial, q);
+      } else {
+        send_grant(msg.from, msg.serial, q);
+        check_mode();
+      }
+      break;
+    }
+    case 3:
+      assert(req_.has_value());
+      if (req_->ts < msg.ts) {
+        defer_.push_back(DeferredReq{net::ReqType::kUpdate, q, msg.ts, msg.from,
+                                     msg.serial});
+      } else if (use_.contains(q)) {
+        // The paper's Fig. 4 case 3 grants older requests unconditionally,
+        // but the requester's information may be stale by up to 2T: if q
+        // is in OUR use set the grant would license co-channel
+        // interference (found by the randomized-scenario fuzz suite; see
+        // DESIGN.md faithfulness note 11).
+        send_reject(msg.from, msg.serial, q);
+      } else {
+        // An older update request proceeds even against our search; the
+        // grant enters our interfered set so our selection avoids q.
+        send_grant(msg.from, msg.serial, q);
+        check_mode();
+      }
+      break;
+    default:
+      assert(false);
+  }
+}
+
+void AdaptiveNode::handle_search_request(const net::Message& msg) {
+  // Defer iff our own OLDER search must finish first (Fig. 4 case 3).
+  //
+  // Note on the paper's case 0 (pending_i): Fig. 4 also defers younger
+  // searches while a local request is parked. Combined with the fact that
+  // a request can become parked AFTER having answered younger searches
+  // (replies in modes 2/3 are unconditional), that rule creates a wait
+  // cycle — parked node waits for a younger searcher's announcement while
+  // (transitively) withholding the reply that searcher needs — and the
+  // fuzz suite drives the whole system into deadlock through it. A parked
+  // request therefore answers searches immediately: safety is preserved
+  // because the park gate resumes only after every answered searcher has
+  // announced its pick (processed before the resume), and searches are
+  // then only ever deferred by strictly older searches, which keeps the
+  // wait-for graph acyclic. See DESIGN.md note 9.
+  if (mode_ == 3 && req_.has_value() && req_->ts < msg.ts) {
+    defer_.push_back(
+        DeferredReq{net::ReqType::kSearch, kNoChannel, msg.ts, msg.from, msg.serial});
+    return;
+  }
+  awaiting_.insert(msg.from);
+  send_use_reply(msg.from, msg.serial, net::ResType::kSearchReply);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5: Receive_Change_Mode
+// ---------------------------------------------------------------------------
+
+void AdaptiveNode::handle_change_mode(const net::Message& msg) {
+  if (msg.mode == 0) {
+    update_set_.erase(msg.from);
+    return;
+  }
+  update_set_.insert(msg.from);
+  // The switching node is waiting for everyone's Use set; echo its wave.
+  net::Message resp;
+  resp.kind = net::MsgKind::kResponse;
+  resp.res_type = net::ResType::kStatus;
+  resp.serial = msg.serial;
+  resp.wave = msg.wave;
+  resp.from = id();
+  resp.to = msg.from;
+  resp.use = use_;
+  env().send(resp);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6: check_mode()
+// ---------------------------------------------------------------------------
+
+void AdaptiveNode::check_mode() {
+  const int s = free_primary_count();
+  nfc_.record(env().now(), s);
+  const double next = nfc_.predict(env().now(), round_trip());
+
+  if (mode_ == 0 && next < static_cast<double>(params_.theta_low)) {
+    mode_ = 1;
+    ++to_borrowing_;
+    ++change_wave_;
+    net::Message cm;
+    cm.kind = net::MsgKind::kChangeMode;
+    cm.mode = 1;
+    cm.wave = change_wave_;
+    cm.serial = req_.has_value() ? req_->serial : 0;
+    send_to_interference(cm);
+  } else if (mode_ == 1 && next >= static_cast<double>(params_.theta_high)) {
+    mode_ = 0;
+    ++to_local_;
+    net::Message cm;
+    cm.kind = net::MsgKind::kChangeMode;
+    cm.mode = 0;
+    cm.serial = req_.has_value() ? req_->serial : 0;
+    send_to_interference(cm);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 7, 8: Receive_Acquisition / Receive_Release
+// ---------------------------------------------------------------------------
+
+void AdaptiveNode::handle_acquisition(const net::Message& msg) {
+  if (msg.channel != kNoChannel) {
+    known_use_[static_cast<std::size_t>(msg.from)].insert(msg.channel);
+    pending_grants_[static_cast<std::size_t>(msg.from)].erase(msg.channel);
+    check_mode();
+  }
+  if (msg.acq_type == net::AcqType::kSearch) {
+    const auto it = awaiting_.find(msg.from);
+    assert(it != awaiting_.end() && "announcement from a searcher we never answered");
+    if (it != awaiting_.end()) awaiting_.erase(it);
+    resume_if_quiet();
+  }
+}
+
+void AdaptiveNode::handle_release(const net::Message& msg) {
+  known_use_[static_cast<std::size_t>(msg.from)].erase(msg.channel);
+  pending_grants_[static_cast<std::size_t>(msg.from)].erase(msg.channel);
+  check_mode();
+  maybe_repack();  // one of our primaries may just have become free
+}
+
+void AdaptiveNode::resume_if_quiet() {
+  if (awaiting_.empty() && req_.has_value() && req_->phase == Phase::kWaitQuiet) {
+    proceed();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+void AdaptiveNode::handle_response(const net::Message& msg) {
+  switch (msg.res_type) {
+    case net::ResType::kStatus:
+      // Fresh snapshot of the sender's Use set (grants we issued are
+      // tracked separately in pending_grants_ and survive the overwrite).
+      known_use_[static_cast<std::size_t>(msg.from)] = msg.use;
+      if (req_.has_value() && req_->phase == Phase::kWaitStatus &&
+          msg.wave == req_->wave) {
+        ++req_->statuses;
+        if (req_->statuses == static_cast<int>(interference().size())) proceed();
+      }
+      break;
+
+    case net::ResType::kGrant:
+    case net::ResType::kReject:
+      if (!req_.has_value() || req_->phase != Phase::kUpdateRound ||
+          msg.serial != req_->serial || msg.channel != req_->channel) {
+        return;  // response to an attempt we already abandoned
+      }
+      ++req_->responses;
+      if (msg.res_type == net::ResType::kGrant) {
+        req_->granters.push_back(msg.from);
+      } else {
+        req_->rejected = true;
+      }
+      if (req_->responses == static_cast<int>(interference().size())) {
+        conclude_update_round();
+      }
+      break;
+
+    case net::ResType::kSearchReply:
+      if (!req_.has_value() || req_->phase != Phase::kSearchRound ||
+          msg.serial != req_->serial) {
+        return;
+      }
+      known_use_[static_cast<std::size_t>(msg.from)] = msg.use;
+      ++req_->responses;
+      if (req_->responses == static_cast<int>(interference().size())) {
+        const ChannelSet freeSet =
+            cell::ChannelSet::all(spectrum_size()) - use_ - interfered();
+        conclude_search_round(freeSet.first());
+      }
+      break;
+
+    default:
+      assert(false && "unexpected response type for adaptive scheme");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10: Best()
+// ---------------------------------------------------------------------------
+
+cell::CellId AdaptiveNode::best_lender() const {
+  const ChannelSet freeSet = ChannelSet::all(spectrum_size()) - use_ - interfered();
+  CellId min_id = kNoCell;
+  int min_bn = std::numeric_limits<int>::max();
+  std::vector<CellId> eligible;
+  for (const CellId j : interference()) {
+    if (update_set_.contains(j)) continue;  // j itself is borrowing
+    if ((freeSet - known_use_[static_cast<std::size_t>(j)]).empty()) continue;
+    if (!params_.use_best_heuristic) {
+      eligible.push_back(j);
+      continue;
+    }
+    // |UpdateS_i ∩ IN_j|: borrowing neighbours of ours that also interfere
+    // with the candidate lender — fewer means less contention on its
+    // channels.
+    int common_bn = 0;
+    for (const CellId u : update_set_) {
+      if (grid().interferes(u, j)) ++common_bn;
+    }
+    if (common_bn < min_bn) {
+      min_bn = common_bn;
+      min_id = j;
+    }
+  }
+  if (!params_.use_best_heuristic && !eligible.empty()) {
+    return eligible[env().rng(id()).pick_index(eligible.size())];
+  }
+  return min_id;
+}
+
+cell::ChannelId AdaptiveNode::pick_borrow_channel(CellId lender) const {
+  const ChannelSet freeSet = ChannelSet::all(spectrum_size()) - use_ - interfered();
+  const ChannelSet lendable = freeSet - known_use_[static_cast<std::size_t>(lender)];
+  if (lendable.empty()) return kNoChannel;
+  // Prefer borrowing one of the lender's own primaries; randomize within
+  // the preferred tier so concurrent borrowers spread across channels.
+  const ChannelSet preferred = lendable & plan().primary(lender);
+  const ChannelSet& tier = preferred.empty() ? lendable : preferred;
+  const auto members = tier.to_vector();
+  return members[env().rng(id()).pick_index(members.size())];
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9: Deallocate
+// ---------------------------------------------------------------------------
+
+void AdaptiveNode::on_release(ChannelId ch, std::uint64_t serial) {
+  const bool was_borrowed = borrowed_.contains(ch);
+  borrowed_.erase(ch);
+
+  net::Message rel;
+  rel.kind = net::MsgKind::kRelease;
+  rel.serial = serial;
+  rel.channel = ch;
+  if (mode_ != 0 || was_borrowed) {
+    // Fig. 9's borrowing branch; extended to borrowed channels released
+    // after a return to local mode, which must reach the whole region or
+    // the channel would stay marked interfered forever (DESIGN.md).
+    send_to_interference(rel);
+  } else {
+    rel.from = id();
+    for (const CellId j : update_set_) {
+      rel.to = j;
+      env().send(rel);
+    }
+  }
+  if (mode_ != 0) check_mode();
+  maybe_repack();  // our own release may have freed a primary
+}
+
+// ---------------------------------------------------------------------------
+// Extension: dynamic channel reassignment (Cox & Reudink [1])
+// ---------------------------------------------------------------------------
+
+void AdaptiveNode::maybe_repack() {
+  if (!params_.repack) return;
+  // Same safety gate as a silent primary acquisition: never while a
+  // neighbour's search decision is outstanding, and keep it out of the
+  // middle of our own request to avoid mutating Use under a live round.
+  if (!awaiting_.empty() || req_.has_value()) return;
+
+  while (true) {
+    const ChannelId borrowed = borrowed_.first();
+    if (borrowed == kNoChannel) return;
+    const ChannelId p = free_primary();
+    if (p == kNoChannel) return;
+
+    // Migrate the call: the primary goes into service before the borrowed
+    // channel leaves it, and the environment validates the swap.
+    use_.insert(p);
+    env().notify_reassigned(id(), borrowed, p);
+    use_.erase(borrowed);
+    borrowed_.erase(borrowed);
+    ++repacks_;
+
+    // Announce like the separate operations they replace: a local primary
+    // acquisition (subscribers only) and a borrowed-channel release
+    // (whole region).
+    net::Message acq;
+    acq.kind = net::MsgKind::kAcquisition;
+    acq.acq_type = net::AcqType::kNonSearch;
+    acq.channel = p;
+    acq.from = id();
+    for (const CellId j : update_set_) {
+      acq.to = j;
+      env().send(acq);
+    }
+    net::Message rel;
+    rel.kind = net::MsgKind::kRelease;
+    rel.channel = borrowed;
+    send_to_interference(rel);
+    check_mode();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers and dispatch
+// ---------------------------------------------------------------------------
+
+void AdaptiveNode::send_grant(CellId to, std::uint64_t serial, ChannelId r) {
+  // The paper updates both I_i and U_j at grant time; the grant is also
+  // remembered as pending so a later status snapshot cannot erase it while
+  // the borrower's confirmation is in flight.
+  known_use_[static_cast<std::size_t>(to)].insert(r);
+  pending_grants_[static_cast<std::size_t>(to)].insert(r);
+  net::Message resp;
+  resp.kind = net::MsgKind::kResponse;
+  resp.res_type = net::ResType::kGrant;
+  resp.serial = serial;
+  resp.channel = r;
+  resp.from = id();
+  resp.to = to;
+  env().send(resp);
+}
+
+void AdaptiveNode::send_reject(CellId to, std::uint64_t serial, ChannelId r) {
+  net::Message resp;
+  resp.kind = net::MsgKind::kResponse;
+  resp.res_type = net::ResType::kReject;
+  resp.serial = serial;
+  resp.channel = r;
+  resp.from = id();
+  resp.to = to;
+  env().send(resp);
+}
+
+void AdaptiveNode::send_use_reply(CellId to, std::uint64_t serial, net::ResType type) {
+  net::Message resp;
+  resp.kind = net::MsgKind::kResponse;
+  resp.res_type = type;
+  resp.serial = serial;
+  resp.from = id();
+  resp.to = to;
+  resp.use = use_;
+  env().send(resp);
+}
+
+void AdaptiveNode::on_message(const net::Message& msg) {
+  clock_.witness(msg.ts);
+  switch (msg.kind) {
+    case net::MsgKind::kRequest:
+      handle_request(msg);
+      break;
+    case net::MsgKind::kResponse:
+      handle_response(msg);
+      break;
+    case net::MsgKind::kChangeMode:
+      handle_change_mode(msg);
+      break;
+    case net::MsgKind::kAcquisition:
+      handle_acquisition(msg);
+      break;
+    case net::MsgKind::kRelease:
+      handle_release(msg);
+      break;
+  }
+}
+
+}  // namespace dca::core

@@ -1,0 +1,53 @@
+// Tuning parameters of the adaptive scheme (Section 3.5 of the paper).
+#pragma once
+
+#include <cassert>
+
+#include "sim/types.hpp"
+
+namespace dca::core {
+
+struct AdaptiveParams {
+  /// θ_l: enter borrowing mode when the predicted number of free primary
+  /// channels drops below this. Must be >= 1 (see DESIGN.md note 4).
+  int theta_low = 2;
+
+  /// θ_h: return to local mode when the prediction reaches this
+  /// (hysteresis; must exceed theta_low).
+  int theta_high = 4;
+
+  /// W: the sliding window the NFC predictor extrapolates over.
+  sim::Duration window = sim::seconds(30);
+
+  /// α: maximum borrow attempts in update mode before switching to the
+  /// search mode for this request.
+  int alpha = 3;
+
+  /// When true, mode-2 nodes reject ANY younger update request (the
+  /// literal Fig. 4 rule); when false (default) only younger requests for
+  /// the channel we are ourselves acquiring are rejected (the Section 2.2
+  /// prose rule). Both are safe; the literal rule rejects more.
+  bool strict_fig4 = false;
+
+  /// When false, the Best() lender heuristic is replaced by a uniformly
+  /// random eligible lender (ablation of the paper's collision-avoidance
+  /// claim).
+  bool use_best_heuristic = true;
+
+  /// Extension (off by default, not in the paper): dynamic channel
+  /// reassignment in the style of the paper's reference [1] (Cox &
+  /// Reudink). When a primary channel becomes free while a borrowed
+  /// channel is carrying a call, the call is migrated onto the primary
+  /// (an intra-cell handoff) and the borrowed channel is returned to the
+  /// neighbourhood immediately instead of at call end.
+  bool repack = false;
+
+  void check() const {
+    assert(theta_low >= 1);
+    assert(theta_high > theta_low);
+    assert(window > 0);
+    assert(alpha >= 1);
+  }
+};
+
+}  // namespace dca::core

@@ -1,0 +1,117 @@
+#include "metrics/collector.hpp"
+
+#include <cassert>
+
+namespace dca::metrics {
+
+void Collector::open(std::uint64_t serial, traffic::CallId call, cell::CellId cellId,
+                     sim::SimTime now, bool is_handoff) {
+  assert(serial != 0);
+  CallRecord rec;
+  rec.serial = serial;
+  rec.call = call;
+  rec.cellId = cellId;
+  rec.is_handoff = is_handoff;
+  rec.t_request = now;
+  const auto [it, inserted] = open_.emplace(serial, rec);
+  (void)it;
+  assert(inserted && "serials are unique");
+}
+
+void Collector::on_message(const net::Message& msg) {
+  if (msg.serial == 0) {
+    ++unattributed_;
+    return;
+  }
+  const auto it = open_.find(msg.serial);
+  if (it == open_.end()) {
+    // Billed to an already-closed acquisition (e.g. the end-of-call
+    // RELEASE): attribute to the closed record if still reachable, else
+    // count as unattributed. A linear search of closed_ would be O(n);
+    // instead keep a side index from serial -> closed slot.
+    const auto ci = closed_index_.find(msg.serial);
+    if (ci == closed_index_.end()) {
+      ++unattributed_;
+      return;
+    }
+    ++closed_[ci->second].messages[static_cast<std::size_t>(msg.kind)];
+    return;
+  }
+  ++it->second.messages[static_cast<std::size_t>(msg.kind)];
+}
+
+void Collector::close(std::uint64_t serial, sim::SimTime now, proto::Outcome outcome,
+                      int attempts, int borrowing_neighbors, int searching_neighbors) {
+  const auto it = open_.find(serial);
+  assert(it != open_.end());
+  CallRecord rec = it->second;
+  open_.erase(it);
+  rec.t_decision = now;
+  rec.outcome = outcome;
+  rec.attempts = attempts;
+  rec.borrowing_neighbors = borrowing_neighbors;
+  rec.searching_neighbors = searching_neighbors;
+  closed_index_.emplace(serial, closed_.size());
+  closed_.push_back(rec);
+}
+
+Aggregate Collector::aggregate(sim::Duration T, sim::SimTime warmup) const {
+  Aggregate a;
+  std::uint64_t n_local = 0, n_update = 0, n_search = 0;
+  double sum_attempts_update = 0.0;
+  double sum_borrowing = 0.0;
+  double sum_searching = 0.0;
+  std::uint64_t n_search_samples = 0;
+
+  for (const CallRecord& r : closed_) {
+    if (r.t_request < warmup) continue;
+    ++a.offered;
+    if (r.is_handoff) ++a.handoff_offered;
+    a.attempts.add(r.attempts);
+    a.messages_per_call.add(static_cast<double>(r.total_messages()));
+    switch (r.outcome) {
+      case proto::Outcome::kAcquiredLocal:
+        ++n_local;
+        break;
+      case proto::Outcome::kAcquiredUpdate:
+        ++n_update;
+        sum_attempts_update += r.attempts;
+        break;
+      case proto::Outcome::kAcquiredSearch:
+        ++n_search;
+        sum_searching += r.searching_neighbors;
+        ++n_search_samples;
+        break;
+      case proto::Outcome::kBlockedNoChannel:
+        ++a.blocked;
+        if (r.is_handoff) ++a.handoff_failures;
+        continue;
+      case proto::Outcome::kBlockedStarved:
+        ++a.starved;
+        if (r.is_handoff) ++a.handoff_failures;
+        continue;
+    }
+    ++a.acquired;
+    sum_borrowing += r.borrowing_neighbors;
+    a.delay_us.add(static_cast<double>(r.delay()));
+    a.delay_in_T.add(T > 0 ? static_cast<double>(r.delay()) / static_cast<double>(T)
+                           : 0.0);
+    a.messages_acquired.add(static_cast<double>(r.total_messages()));
+  }
+
+  if (a.acquired > 0) {
+    const auto acq = static_cast<double>(a.acquired);
+    a.xi1 = static_cast<double>(n_local) / acq;
+    a.xi2 = static_cast<double>(n_update) / acq;
+    a.xi3 = static_cast<double>(n_search) / acq;
+    a.mean_borrowing_neighbors = sum_borrowing / acq;
+  }
+  if (n_update > 0)
+    a.mean_update_attempts = sum_attempts_update / static_cast<double>(n_update);
+  if (n_search_samples > 0)
+    a.mean_searching_neighbors =
+        sum_searching / static_cast<double>(n_search_samples);
+  return a;
+}
+
+}  // namespace dca::metrics

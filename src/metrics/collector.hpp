@@ -1,0 +1,117 @@
+// Per-call records and experiment-level aggregation.
+//
+// The collector opens a record when a call requests a channel, bills every
+// control message carrying that request's serial to it (via the network
+// observer hook), and closes the record at the accept/drop decision. The
+// aggregate view computes exactly the quantities the paper's Section 5
+// analysis is parameterized by:
+//
+//   ξ₁, ξ₂, ξ₃  — fractions of acquisitions that were local / borrowed via
+//                 update / obtained via search,
+//   m           — mean update-mode attempts among borrow acquisitions,
+//   N_borrow    — mean number of borrowing-mode interference neighbours
+//                 sampled at acquisition instants,
+//   N_search    — mean number of simultaneous searches in the
+//                 neighbourhood sampled at search-acquisition instants,
+// plus the evaluation outputs: block/drop probability, acquisition time
+// (reported in units of T), and control messages per call.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cell/grid.hpp"
+#include "metrics/summary.hpp"
+#include "net/message.hpp"
+#include "proto/allocator.hpp"
+#include "sim/types.hpp"
+#include "traffic/call.hpp"
+
+namespace dca::metrics {
+
+struct CallRecord {
+  std::uint64_t serial = 0;
+  traffic::CallId call = 0;
+  cell::CellId cellId = cell::kNoCell;
+  bool is_handoff = false;
+  sim::SimTime t_request = 0;
+  sim::SimTime t_decision = 0;
+  proto::Outcome outcome = proto::Outcome::kBlockedNoChannel;
+  int attempts = 0;  // paper's m for this call (update rounds used)
+  int borrowing_neighbors = 0;   // sampled at decision
+  int searching_neighbors = 0;   // sampled at decision
+  std::array<std::uint32_t, net::kNumMsgKinds> messages{};
+
+  [[nodiscard]] std::uint32_t total_messages() const noexcept {
+    std::uint32_t s = 0;
+    for (const auto m : messages) s += m;
+    return s;
+  }
+  [[nodiscard]] sim::Duration delay() const noexcept { return t_decision - t_request; }
+};
+
+/// Aggregated results over one simulation run.
+struct Aggregate {
+  std::uint64_t offered = 0;       // channel requests issued
+  std::uint64_t acquired = 0;
+  std::uint64_t blocked = 0;       // no channel available
+  std::uint64_t starved = 0;       // update retry cap exhausted
+  std::uint64_t handoff_offered = 0;   // requests that were handoffs
+  std::uint64_t handoff_failures = 0;  // ... of which failed (forced term.)
+
+  double xi1 = 0.0, xi2 = 0.0, xi3 = 0.0;
+  double mean_update_attempts = 0.0;  // m over ξ₂ acquisitions
+  Summary attempts;                   // attempts over ALL closed requests
+  double mean_borrowing_neighbors = 0.0;   // N_borrow
+  double mean_searching_neighbors = 0.0;   // N_search
+
+  Summary delay_us;           // acquisition delay, microseconds, acquired calls
+  Summary delay_in_T;         // acquisition delay in units of T
+  Summary messages_per_call;  // attributed messages per closed request
+  Summary messages_acquired;  // ... among acquired only
+
+  [[nodiscard]] double drop_rate() const noexcept {
+    return offered == 0
+               ? 0.0
+               : static_cast<double>(blocked + starved) / static_cast<double>(offered);
+  }
+};
+
+class Collector {
+ public:
+  /// Opens the record for an issued request.
+  void open(std::uint64_t serial, traffic::CallId call, cell::CellId cellId,
+            sim::SimTime now, bool is_handoff);
+
+  /// Network observer: bills the message to its serial (if open).
+  void on_message(const net::Message& msg);
+
+  /// Closes the record at the decision instant. `borrowing_neighbors` /
+  /// `searching_neighbors` are environment samples taken by the runner.
+  void close(std::uint64_t serial, sim::SimTime now, proto::Outcome outcome,
+             int attempts, int borrowing_neighbors, int searching_neighbors);
+
+  /// Messages whose serial was 0 or unknown (not billable to any call).
+  [[nodiscard]] std::uint64_t unattributed_messages() const noexcept {
+    return unattributed_;
+  }
+
+  [[nodiscard]] const std::vector<CallRecord>& records() const noexcept {
+    return closed_;
+  }
+  [[nodiscard]] std::size_t open_count() const noexcept { return open_.size(); }
+
+  /// Aggregates closed records; `T` is the latency bound for delay_in_T and
+  /// `warmup` discards records whose request instant precedes it.
+  [[nodiscard]] Aggregate aggregate(sim::Duration T, sim::SimTime warmup = 0) const;
+
+ private:
+  std::unordered_map<std::uint64_t, CallRecord> open_;
+  std::vector<CallRecord> closed_;
+  std::unordered_map<std::uint64_t, std::size_t> closed_index_;  // serial -> slot
+  std::uint64_t unattributed_ = 0;
+};
+
+}  // namespace dca::metrics

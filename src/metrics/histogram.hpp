@@ -1,0 +1,66 @@
+// A fixed-width histogram for distribution reporting (acquisition delays,
+// messages per call, attempts).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dca::metrics {
+
+class Histogram {
+ public:
+  /// Bins of width `bin_width` covering [0, bin_width * n_bins); larger
+  /// samples land in the overflow bin.
+  Histogram(double bin_width, std::size_t n_bins)
+      : width_(bin_width), counts_(n_bins + 1, 0) {
+    assert(bin_width > 0.0 && n_bins > 0);
+  }
+
+  void add(double x) noexcept {
+    ++total_;
+    if (x < 0.0) x = 0.0;
+    auto idx = static_cast<std::size_t>(x / width_);
+    if (idx >= counts_.size() - 1) idx = counts_.size() - 1;  // overflow bin
+    ++counts_[idx];
+  }
+
+  [[nodiscard]] std::size_t n_bins() const noexcept { return counts_.size() - 1; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return counts_.back(); }
+  [[nodiscard]] double bin_low(std::size_t i) const {
+    return width_ * static_cast<double>(i);
+  }
+
+  /// ASCII rendering for report output; `cols` = max bar width.
+  [[nodiscard]] std::string render(int cols = 50) const {
+    std::uint64_t peak = 1;
+    for (const auto c : counts_) peak = c > peak ? c : peak;
+    std::string out;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      const bool over = (i == counts_.size() - 1);
+      char label[64];
+      if (over) {
+        std::snprintf(label, sizeof label, "%10.2f+   ", bin_low(i));
+      } else {
+        std::snprintf(label, sizeof label, "%10.2f    ", bin_low(i));
+      }
+      out += label;
+      const auto bar = static_cast<std::size_t>(
+          static_cast<double>(counts_[i]) / static_cast<double>(peak) * cols);
+      out.append(bar, '#');
+      out += "  " + std::to_string(counts_[i]) + "\n";
+    }
+    return out;
+  }
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dca::metrics

@@ -1,0 +1,151 @@
+// A minimal JSON writer (no DOM, no parsing): enough to export results
+// for downstream analysis without dragging in a dependency.
+//
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("scheme"); w.value("adaptive");
+//   w.key("drop_rate"); w.value(0.021);
+//   w.key("series"); w.begin_array(); w.value(1); w.value(2); w.end_array();
+//   w.end_object();
+//   std::string out = w.str();
+//
+// The writer inserts commas automatically and escapes strings per RFC
+// 8259. Numbers are emitted with enough precision to round-trip doubles.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dca::metrics {
+
+class JsonWriter {
+ public:
+  void begin_object() {
+    separator();
+    out_ << '{';
+    stack_.push_back(State::kFirstInObject);
+  }
+  void end_object() {
+    out_ << '}';
+    stack_.pop_back();
+    mark_value_written();
+  }
+  void begin_array() {
+    separator();
+    out_ << '[';
+    stack_.push_back(State::kFirstInArray);
+  }
+  void end_array() {
+    out_ << ']';
+    stack_.pop_back();
+    mark_value_written();
+  }
+
+  /// Writes an object key (must be inside an object).
+  void key(std::string_view name) {
+    separator();
+    write_string(name);
+    out_ << ':';
+    pending_key_ = true;
+  }
+
+  void value(std::string_view s) {
+    separator();
+    write_string(s);
+    mark_value_written();
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) {
+    separator();
+    out_ << (b ? "true" : "false");
+    mark_value_written();
+  }
+  void value(double d) {
+    separator();
+    if (std::isfinite(d)) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      out_ << buf;
+    } else {
+      out_ << "null";  // JSON has no infinity/NaN
+    }
+    mark_value_written();
+  }
+  void value(std::int64_t v) {
+    separator();
+    out_ << v;
+    mark_value_written();
+  }
+  void value(std::uint64_t v) {
+    separator();
+    out_ << v;
+    mark_value_written();
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void null() {
+    separator();
+    out_ << "null";
+    mark_value_written();
+  }
+
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+ private:
+  enum class State { kFirstInObject, kInObject, kFirstInArray, kInArray };
+
+  void separator() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;  // value directly after a key: no comma
+    }
+    if (stack_.empty()) return;
+    switch (stack_.back()) {
+      case State::kInObject:
+      case State::kInArray:
+        out_ << ',';
+        break;
+      case State::kFirstInObject:
+      case State::kFirstInArray:
+        break;
+    }
+  }
+
+  void mark_value_written() {
+    if (stack_.empty()) return;
+    if (stack_.back() == State::kFirstInObject) stack_.back() = State::kInObject;
+    if (stack_.back() == State::kFirstInArray) stack_.back() = State::kInArray;
+  }
+
+  void write_string(std::string_view s) {
+    out_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\r': out_ << "\\r"; break;
+        case '\t': out_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ << buf;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream out_;
+  std::vector<State> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace dca::metrics

@@ -1,0 +1,96 @@
+// Streaming summary statistics and percentile helpers.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+// (jain_index at the bottom of this header also operates on samples)
+
+namespace dca::metrics {
+
+/// Accumulates count/mean/variance online (Welford) plus min/max. Cheap
+/// enough to keep one per metric per experiment point.
+class Summary {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(n_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Summary that additionally retains samples for exact percentiles.
+class SampledSummary {
+ public:
+  void add(double x) {
+    summary_.add(x);
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] const Summary& stats() const noexcept { return summary_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return summary_.count(); }
+  [[nodiscard]] double mean() const noexcept { return summary_.mean(); }
+  [[nodiscard]] double min() const noexcept { return summary_.min(); }
+  [[nodiscard]] double max() const noexcept { return summary_.max(); }
+
+  /// Exact percentile (nearest-rank). p in [0, 100].
+  [[nodiscard]] double percentile(double p) {
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+  }
+
+ private:
+  Summary summary_;
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+/// Jain's fairness index of a sample: (Σx)² / (n·Σx²), in (0, 1]; 1 means
+/// perfectly equal shares, 1/n means one participant has everything.
+/// Returns 1.0 for empty or all-zero input (vacuously fair).
+[[nodiscard]] inline double jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0, sumsq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sumsq += x * x;
+  }
+  if (sumsq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sumsq);
+}
+
+}  // namespace dca::metrics

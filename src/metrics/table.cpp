@@ -1,0 +1,73 @@
+#include "metrics/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace dca::metrics {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  assert(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto emit_row = [&](const std::vector<std::string>& row, std::ostream& os) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      os << (c + 1 < row.size() ? " | " : " |");
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_row(header_, os);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row, os);
+  return os.str();
+}
+
+std::string Table::csv() const {
+  const auto field = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << field(header_[c]) << (c + 1 < header_.size() ? "," : "\n");
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << field(row[c]) << (c + 1 < row.size() ? "," : "\n");
+  return os.str();
+}
+
+}  // namespace dca::metrics

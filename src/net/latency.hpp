@@ -1,0 +1,92 @@
+// One-way message latency models.
+//
+// The paper's analysis is parameterized by T, the maximum time to
+// communicate with another node in the interference region; 2T is the
+// round-trip used by the mode predictor. The latency model supplies a
+// per-message delay and reports its bound T.
+//
+// Models:
+//  * FixedLatency    — every message takes exactly T (the paper's setting).
+//  * JitterLatency   — uniform in [lo, hi]; hi is reported as T.
+//  * MatrixLatency   — a default delay plus per-(src,dst) overrides. Used
+//    by the Fig. 11 reproduction, where message overtaking between paths
+//    must be engineered deterministically.
+//
+// All models preserve per-link FIFO when their delay is deterministic per
+// link; JitterLatency can reorder messages on a link, which the protocols
+// must (and do) tolerate.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "cell/grid.hpp"
+#include "sim/random.hpp"
+#include "sim/types.hpp"
+
+namespace dca::net {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// Delay for one message from `from` to `to`.
+  virtual sim::Duration delay(cell::CellId from, cell::CellId to) = 0;
+
+  /// Upper bound T on one-way latency (the paper's T).
+  [[nodiscard]] virtual sim::Duration max_one_way() const = 0;
+};
+
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(sim::Duration t) : t_(t) {}
+  sim::Duration delay(cell::CellId, cell::CellId) override { return t_; }
+  [[nodiscard]] sim::Duration max_one_way() const override { return t_; }
+
+ private:
+  sim::Duration t_;
+};
+
+class JitterLatency final : public LatencyModel {
+ public:
+  JitterLatency(sim::Duration lo, sim::Duration hi, sim::RngStream rng)
+      : lo_(lo), hi_(std::max(lo, hi)), rng_(std::move(rng)) {}
+
+  sim::Duration delay(cell::CellId, cell::CellId) override {
+    return rng_.uniform_int(lo_, hi_);
+  }
+  [[nodiscard]] sim::Duration max_one_way() const override { return hi_; }
+
+ private:
+  sim::Duration lo_;
+  sim::Duration hi_;
+  sim::RngStream rng_;
+};
+
+class MatrixLatency final : public LatencyModel {
+ public:
+  explicit MatrixLatency(sim::Duration default_delay) : default_(default_delay) {}
+
+  /// Overrides the delay of the directed link from -> to.
+  void set(cell::CellId from, cell::CellId to, sim::Duration d) {
+    overrides_[{from, to}] = d;
+    max_ = std::max(max_, d);
+  }
+
+  sim::Duration delay(cell::CellId from, cell::CellId to) override {
+    const auto it = overrides_.find({from, to});
+    return it == overrides_.end() ? default_ : it->second;
+  }
+  [[nodiscard]] sim::Duration max_one_way() const override {
+    return std::max(default_, max_);
+  }
+
+ private:
+  sim::Duration default_;
+  sim::Duration max_ = 0;
+  std::map<std::pair<cell::CellId, cell::CellId>, sim::Duration> overrides_;
+};
+
+}  // namespace dca::net

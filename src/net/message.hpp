@@ -1,0 +1,112 @@
+// The protocol wire format: one tagged message struct covering the five
+// message types of the paper (Section 3.2) plus the fields the baseline
+// schemes need. Keeping a single concrete struct (rather than a class
+// hierarchy) keeps the network layer trivially copyable and the traces
+// easy to read.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cell/grid.hpp"
+#include "cell/spectrum.hpp"
+#include "net/timestamp.hpp"
+
+namespace dca::net {
+
+/// Top-level message tag (paper Section 3.2), plus the channel-transfer
+/// vocabulary of the advanced search comparator (Prakash, Shivaratri &
+/// Singhal, PODC'95 — the paper's reference [8], discussed in Section 6).
+enum class MsgKind : std::uint8_t {
+  kRequest,      // REQUEST(req_type, r, ts_j, j)
+  kResponse,     // RESPONSE(res_type, j, ch | Use_j)
+  kChangeMode,   // CHANGE_MODE(mode, j)
+  kRelease,      // RELEASE(j, r)
+  kAcquisition,  // ACQUISITION(acq_type, j, r)
+  kTransfer,     // TRANSFER(op, r): allocated-set transfer negotiation
+};
+
+/// kTransfer sub-operation (the paper's TRANSFER / AGREE / KEEP / RELEASE
+/// plus an explicit refusal).
+enum class TransferOp : std::uint8_t {
+  kRequest = 0,  // c -> owner: may I have allocated-but-idle channel r?
+  kAgree = 1,    // owner -> c: r is reserved for you, confirm or abort
+  kDeny = 2,     // owner -> c: no (busy, already offered, or not mine)
+  kKeep = 3,     // c -> owner: confirmed, I take r
+  kAbort = 4,    // c -> owner: aborted, unlock r (the paper's RELEASE leg)
+};
+
+/// REQUEST.req_type: the nature of the request.
+enum class ReqType : std::uint8_t { kUpdate = 0, kSearch = 1 };
+
+/// RESPONSE.res_type: the nature of the response.
+enum class ResType : std::uint8_t {
+  kReject = 0,       // deny channel `channel`
+  kGrant = 1,        // grant channel `channel`
+  kSearchReply = 2,  // payload `use` = responder's Use set (search reply)
+  kStatus = 3,       // payload `use` = responder's Use set (mode-change reply)
+  // Extension used only by the advanced-update baseline (Dong & Lai TR-48):
+  // "you have priority, but the channel is provisionally promised to a
+  // younger request" — see Fig. 11 discussion in the paper's Section 6.
+  kConditionalGrant = 4,
+};
+
+/// ACQUISITION.acq_type: how the announced channel was obtained.
+enum class AcqType : std::uint8_t { kNonSearch = 0, kSearch = 1 };
+
+struct Message {
+  MsgKind kind = MsgKind::kRequest;
+  cell::CellId from = cell::kNoCell;
+  cell::CellId to = cell::kNoCell;
+
+  /// Serial of the channel-acquisition attempt this message is billed to
+  /// (set by the original requester, echoed by responders); 0 = not
+  /// attributable to a specific acquisition (e.g. end-of-call RELEASE).
+  std::uint64_t serial = 0;
+
+  ReqType req_type = ReqType::kUpdate;
+  ResType res_type = ResType::kReject;
+  AcqType acq_type = AcqType::kNonSearch;
+
+  /// Channel operand: requested / granted / rejected / released / acquired.
+  /// kNoChannel for search requests and failed-search acquisitions.
+  cell::ChannelId channel = cell::kNoChannel;
+
+  /// Requester's Lamport timestamp (REQUEST only).
+  Timestamp ts;
+
+  /// CHANGE_MODE operand: 0 = local, 1 = borrowing.
+  std::int8_t mode = 0;
+
+  /// Mode-change wave tag: CHANGE_MODE(1) messages and their kStatus
+  /// replies carry the sender's wave counter so a requester collecting
+  /// statuses can ignore replies to a stale wave.
+  std::uint64_t wave = 0;
+
+  /// Use-set payload for RESPONSE kSearchReply / kStatus.
+  cell::ChannelSet use;
+
+  /// Allocated-set payload (advanced search replies carry allocated AND
+  /// busy sets; `use` holds the busy subset).
+  cell::ChannelSet alloc;
+
+  /// Transfer negotiation operation (kTransfer only).
+  TransferOp transfer_op = TransferOp::kRequest;
+
+  [[nodiscard]] std::string kind_name() const {
+    switch (kind) {
+      case MsgKind::kRequest: return "REQUEST";
+      case MsgKind::kResponse: return "RESPONSE";
+      case MsgKind::kChangeMode: return "CHANGE_MODE";
+      case MsgKind::kRelease: return "RELEASE";
+      case MsgKind::kAcquisition: return "ACQUISITION";
+      case MsgKind::kTransfer: return "TRANSFER";
+    }
+    return "?";
+  }
+};
+
+/// Number of distinct MsgKind values (for counter arrays).
+inline constexpr int kNumMsgKinds = 6;
+
+}  // namespace dca::net

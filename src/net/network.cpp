@@ -1,0 +1,31 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace dca::net {
+
+void Network::send(Message msg) {
+  assert(msg.from != cell::kNoCell && msg.to != cell::kNoCell);
+  assert(msg.from != msg.to && "nodes do not message themselves");
+  ++total_;
+  ++by_kind_[static_cast<std::size_t>(msg.kind)];
+  if (observe_) observe_(msg);
+  if (trace_ && trace_->enabled(sim::LogLevel::kTrace)) {
+    trace_->emit(sim::LogLevel::kTrace, sim_.now(),
+                 sim::format_line("net: ", msg.from, " -> ", msg.to, " ",
+                                  msg.kind_name(), " ch=", msg.channel));
+  }
+  const sim::Duration d = latency_->delay(msg.from, msg.to);
+  // FIFO per directed link: never deliver before an earlier send on the
+  // same link (ties break by scheduling order, which is send order).
+  sim::SimTime when = sim_.now() + (d > 0 ? d : 0);
+  auto& floor_time = link_clock_[{msg.from, msg.to}];
+  if (when < floor_time) when = floor_time;
+  floor_time = when;
+  sim_.schedule_at(when, [this, m = std::move(msg)]() {
+    if (deliver_) deliver_(m);
+  });
+}
+
+}  // namespace dca::net

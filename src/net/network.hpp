@@ -1,0 +1,88 @@
+// The control-message network between mobile service stations.
+//
+// send() stamps the message with a delivery delay from the latency model
+// and schedules its arrival on the simulator; the registered receiver
+// (the World in src/runner) dispatches it to the destination node's
+// handler. The network also keeps global per-type message counters — the
+// paper's "control message complexity" metric — and offers an observer
+// hook the metrics collector uses to bill messages to individual channel
+// acquisitions via Message::serial.
+//
+// Links are FIFO: a message never overtakes an earlier message on the
+// same directed (from, to) link, whatever the latency model draws (the
+// delivery time is floored at the link's previous delivery). The paper's
+// protocols — like all message-passing pseudo-code of that era —
+// implicitly assume ordered channels: with reordering, a stale Use-set
+// snapshot can arrive after a later ACQUISITION and erase knowledge of a
+// borrowed channel (a real interference scenario our fuzz suite found).
+// Messages on DIFFERENT links still race freely under jitter.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "net/latency.hpp"
+#include "net/message.hpp"
+#include "sim/log.hpp"
+#include "sim/simulator.hpp"
+
+namespace dca::net {
+
+class Network {
+ public:
+  using DeliverFn = std::function<void(const Message&)>;
+  using ObserveFn = std::function<void(const Message&)>;
+
+  Network(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency)
+      : sim_(simulator), latency_(std::move(latency)) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Installs the delivery callback (dispatches to msg.to's node).
+  void set_receiver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Installs an optional send-time observer (metrics attribution).
+  void set_observer(ObserveFn fn) { observe_ = std::move(fn); }
+
+  /// Optional trace log; pass nullptr to disable.
+  void set_trace(sim::TraceLog* log) { trace_ = log; }
+
+  /// Sends one control message; counted immediately, delivered after the
+  /// model's one-way delay.
+  void send(Message msg);
+
+  /// The latency bound T the paper's formulas are expressed in.
+  [[nodiscard]] sim::Duration max_one_way_latency() const {
+    return latency_->max_one_way();
+  }
+
+  // -- global counters --------------------------------------------------
+
+  [[nodiscard]] std::uint64_t total_sent() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t sent_of(MsgKind k) const noexcept {
+    return by_kind_[static_cast<std::size_t>(k)];
+  }
+  void reset_counters() noexcept {
+    total_ = 0;
+    by_kind_.fill(0);
+  }
+
+ private:
+  sim::Simulator& sim_;
+  std::unique_ptr<LatencyModel> latency_;
+  DeliverFn deliver_;
+  ObserveFn observe_;
+  sim::TraceLog* trace_ = nullptr;
+
+  std::uint64_t total_ = 0;
+  std::array<std::uint64_t, kNumMsgKinds> by_kind_{};
+  // Last scheduled delivery per directed link (FIFO floor).
+  std::map<std::pair<cell::CellId, cell::CellId>, sim::SimTime> link_clock_;
+};
+
+}  // namespace dca::net

@@ -1,0 +1,56 @@
+// Lamport logical timestamps.
+//
+// Every channel-allocation scheme in the paper arbitrates concurrent
+// requests by totally ordered timestamps. We use the classic Lamport
+// construction: a per-node counter advanced on local events and on message
+// receipt, with the node id breaking ties. ts_a < ts_b therefore never
+// holds simultaneously with ts_b < ts_a, and the order is total.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cell/grid.hpp"
+
+namespace dca::net {
+
+struct Timestamp {
+  std::uint64_t count = 0;
+  cell::CellId node = cell::kNoCell;
+
+  friend constexpr bool operator==(const Timestamp&, const Timestamp&) = default;
+
+  friend constexpr bool operator<(const Timestamp& a, const Timestamp& b) noexcept {
+    if (a.count != b.count) return a.count < b.count;
+    return a.node < b.node;
+  }
+  friend constexpr bool operator>(const Timestamp& a, const Timestamp& b) noexcept {
+    return b < a;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(count) + "." + std::to_string(node);
+  }
+};
+
+/// Per-node Lamport clock.
+class LamportClock {
+ public:
+  explicit LamportClock(cell::CellId node) : node_(node) {}
+
+  /// Advances for a local event and returns the new timestamp.
+  Timestamp tick() noexcept { return Timestamp{++count_, node_}; }
+
+  /// Merges a timestamp observed on an incoming message.
+  void witness(const Timestamp& ts) noexcept {
+    if (ts.count > count_) count_ = ts.count;
+  }
+
+  [[nodiscard]] Timestamp peek() const noexcept { return Timestamp{count_, node_}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  cell::CellId node_;
+};
+
+}  // namespace dca::net

@@ -1,0 +1,79 @@
+#include "proto/allocator.hpp"
+
+#include <cassert>
+
+namespace dca::proto {
+
+std::string outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kAcquiredLocal: return "acquired-local";
+    case Outcome::kAcquiredUpdate: return "acquired-update";
+    case Outcome::kAcquiredSearch: return "acquired-search";
+    case Outcome::kBlockedNoChannel: return "blocked-no-channel";
+    case Outcome::kBlockedStarved: return "blocked-starved";
+  }
+  return "?";
+}
+
+AllocatorNode::AllocatorNode(const NodeContext& ctx)
+    : use_(ctx.plan->n_channels()),
+      clock_(ctx.id),
+      id_(ctx.id),
+      grid_(ctx.grid),
+      plan_(ctx.plan),
+      env_(ctx.env) {
+  assert(grid_ != nullptr && plan_ != nullptr && env_ != nullptr);
+  assert(grid_->valid(id_));
+}
+
+void AllocatorNode::request_channel(std::uint64_t serial) {
+  if (busy_) {
+    queue_.push_back(serial);
+    return;
+  }
+  busy_ = true;
+  start_request(serial);
+}
+
+void AllocatorNode::release_channel(cell::ChannelId ch, std::uint64_t serial) {
+  assert(use_.contains(ch));
+  use_.erase(ch);
+  env_->notify_released(id_, ch);
+  on_release(ch, serial);
+}
+
+void AllocatorNode::complete_acquired(std::uint64_t serial, cell::ChannelId ch,
+                                      Outcome how, int attempts) {
+  assert(busy_);
+  assert(use_.contains(ch) && "subclass must insert into Use before completing");
+  env_->notify_acquired(id_, serial, ch, how, attempts);
+  advance();
+}
+
+void AllocatorNode::complete_blocked(std::uint64_t serial, Outcome why, int attempts) {
+  assert(busy_);
+  env_->notify_blocked(id_, serial, why, attempts);
+  advance();
+}
+
+void AllocatorNode::advance() {
+  busy_ = false;
+  if (queue_.empty()) return;
+  const std::uint64_t next = queue_.front();
+  queue_.pop_front();
+  busy_ = true;
+  // Note: a synchronous completion chain recurses here; depth is bounded by
+  // the queue length, which only builds while message exchanges are in
+  // flight (local acquisitions never queue behind each other).
+  start_request(next);
+}
+
+void AllocatorNode::send_to_interference(net::Message msg) {
+  msg.from = id_;
+  for (const cell::CellId j : interference()) {
+    msg.to = j;
+    env_->send(msg);
+  }
+}
+
+}  // namespace dca::proto

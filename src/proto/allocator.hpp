@@ -1,0 +1,182 @@
+// The channel-allocator node framework.
+//
+// Every allocation scheme (FCA, basic search, basic update, advanced
+// update, and the paper's adaptive scheme) is an AllocatorNode subclass:
+// an event-driven state machine owning the per-cell protocol state. The
+// paper's pseudo-code is written with blocking `wait UNTIL` primitives;
+// here each wait becomes an explicit pending-operation record advanced by
+// on_message().
+//
+// Concurrency discipline: an MSS serves ONE local channel request at a
+// time; requests that arrive while an acquisition is in flight queue FIFO
+// in the base class. (In local/fixed modes an acquisition completes
+// synchronously, so the queue only ever builds while a node is exchanging
+// messages.)
+//
+// The node talks to the rest of the simulated world only through NodeEnv:
+// virtual time, message send, and request-outcome notifications. That
+// boundary is what lets tests drive a node deterministically without the
+// full runner.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+
+#include "cell/grid.hpp"
+#include "cell/reuse.hpp"
+#include "cell/spectrum.hpp"
+#include "net/message.hpp"
+#include "net/timestamp.hpp"
+#include "sim/random.hpp"
+#include "sim/types.hpp"
+
+namespace dca::proto {
+
+/// How a channel request ended.
+enum class Outcome : std::uint8_t {
+  kAcquiredLocal = 0,   // satisfied from the primary set, zero latency
+  kAcquiredUpdate = 1,  // borrowed via an update-style handshake
+  kAcquiredSearch = 2,  // obtained via a search-style exhaustive query
+  kBlockedNoChannel = 3,  // no interference-free channel existed
+  kBlockedStarved = 4,    // update-scheme retry cap exhausted (starvation)
+};
+
+[[nodiscard]] inline bool is_acquired(Outcome o) noexcept {
+  return o == Outcome::kAcquiredLocal || o == Outcome::kAcquiredUpdate ||
+         o == Outcome::kAcquiredSearch;
+}
+
+[[nodiscard]] std::string outcome_name(Outcome o);
+
+/// Services the world provides to a node.
+class NodeEnv {
+ public:
+  virtual ~NodeEnv() = default;
+
+  [[nodiscard]] virtual sim::SimTime now() const = 0;
+
+  /// Sends a control message (delivered after the network latency).
+  virtual void send(net::Message msg) = 0;
+
+  /// The latency bound T (paper notation).
+  [[nodiscard]] virtual sim::Duration latency_bound() const = 0;
+
+  /// Request `serial` at `cellId` obtained channel `ch`.
+  /// `attempts` = borrow attempts consumed (the paper's m; 0 for local).
+  virtual void notify_acquired(cell::CellId cellId, std::uint64_t serial,
+                               cell::ChannelId ch, Outcome how, int attempts) = 0;
+
+  /// Request `serial` at `cellId` failed.
+  virtual void notify_blocked(cell::CellId cellId, std::uint64_t serial, Outcome why,
+                              int attempts) = 0;
+
+  /// Channel `ch` is no longer used at `cellId` (invariant bookkeeping).
+  virtual void notify_released(cell::CellId cellId, cell::ChannelId ch) = 0;
+
+  /// The call currently carried on `from_ch` at `cellId` switches to
+  /// `to_ch` (intra-cell channel reassignment, Cox & Reudink style). The
+  /// environment re-checks the interference invariant for `to_ch` and
+  /// re-keys its call bookkeeping. Precondition: exactly one active call
+  /// uses `from_ch` at `cellId`.
+  virtual void notify_reassigned(cell::CellId cellId, cell::ChannelId from_ch,
+                                 cell::ChannelId to_ch) = 0;
+
+  /// Per-node RNG substream (used for randomized channel picks).
+  virtual sim::RngStream& rng(cell::CellId cellId) = 0;
+};
+
+/// Immutable wiring shared by all nodes of a world.
+struct NodeContext {
+  cell::CellId id = cell::kNoCell;
+  const cell::HexGrid* grid = nullptr;
+  const cell::ReusePlan* plan = nullptr;
+  NodeEnv* env = nullptr;
+};
+
+class AllocatorNode {
+ public:
+  explicit AllocatorNode(const NodeContext& ctx);
+  virtual ~AllocatorNode() = default;
+
+  AllocatorNode(const AllocatorNode&) = delete;
+  AllocatorNode& operator=(const AllocatorNode&) = delete;
+
+  [[nodiscard]] cell::CellId id() const noexcept { return id_; }
+
+  /// Channels currently carrying calls in this cell (the paper's Use_i).
+  [[nodiscard]] const cell::ChannelSet& in_use() const noexcept { return use_; }
+
+  /// Submits a channel request (one per call). The outcome is reported via
+  /// NodeEnv::notify_acquired / notify_blocked, possibly synchronously.
+  void request_channel(std::uint64_t serial);
+
+  /// A call using `ch` in this cell ended; runs the scheme's release
+  /// protocol. `serial` is the acquisition the release is billed to (0 =
+  /// unattributed). Precondition: ch ∈ in_use().
+  void release_channel(cell::ChannelId ch, std::uint64_t serial = 0);
+
+  /// Delivers one protocol message addressed to this node.
+  virtual void on_message(const net::Message& msg) = 0;
+
+  /// Scheme-specific mode for metrics (adaptive: paper's mode_i; others 0).
+  [[nodiscard]] virtual int mode() const { return 0; }
+
+  /// True when the node considers itself in a borrowing-type state
+  /// (drives the paper's N_borrow statistic; always false for baselines
+  /// without the notion).
+  [[nodiscard]] virtual bool is_borrowing() const { return false; }
+
+  /// True while the node has a search-style query outstanding (drives the
+  /// paper's N_search statistic).
+  [[nodiscard]] virtual bool is_searching() const { return false; }
+
+  /// True while a channel request is being served (including queued ones).
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+
+  /// Number of locally queued (not yet started) requests.
+  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+
+ protected:
+  /// Begins serving one request. Subclasses must eventually call
+  /// complete_acquired() or complete_blocked() with the same serial.
+  virtual void start_request(std::uint64_t serial) = 0;
+
+  /// Scheme-specific release protocol (messaging); base handles Use_i and
+  /// world notification before invoking this.
+  virtual void on_release(cell::ChannelId ch, std::uint64_t serial) = 0;
+
+  // -- completion helpers (advance the local FIFO) -------------------------
+  void complete_acquired(std::uint64_t serial, cell::ChannelId ch, Outcome how,
+                         int attempts);
+  void complete_blocked(std::uint64_t serial, Outcome why, int attempts);
+
+  // -- conveniences ---------------------------------------------------------
+  [[nodiscard]] std::span<const cell::CellId> interference() const {
+    return grid_->interference(id_);
+  }
+  [[nodiscard]] int spectrum_size() const noexcept { return plan_->n_channels(); }
+  [[nodiscard]] const cell::ChannelSet& primary() const { return plan_->primary(id_); }
+  [[nodiscard]] NodeEnv& env() const noexcept { return *env_; }
+  [[nodiscard]] const cell::HexGrid& grid() const noexcept { return *grid_; }
+  [[nodiscard]] const cell::ReusePlan& plan() const noexcept { return *plan_; }
+
+  /// Sends `msg` (with from/to filled in) to every cell in IN_i.
+  void send_to_interference(net::Message msg);
+
+  cell::ChannelSet use_;        // Use_i
+  net::LamportClock clock_;     // request timestamping
+
+ private:
+  void advance();
+
+  cell::CellId id_;
+  const cell::HexGrid* grid_;
+  const cell::ReusePlan* plan_;
+  NodeEnv* env_;
+  bool busy_ = false;
+  std::deque<std::uint64_t> queue_;
+};
+
+}  // namespace dca::proto

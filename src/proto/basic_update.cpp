@@ -1,0 +1,188 @@
+#include "proto/basic_update.hpp"
+
+#include <cassert>
+
+namespace dca::proto {
+
+BasicUpdateNode::BasicUpdateNode(const NodeContext& ctx, int max_attempts,
+                                 ChannelPick pick)
+    : AllocatorNode(ctx), max_attempts_(max_attempts), pick_(pick) {
+  assert(max_attempts_ >= 1);
+  known_use_.assign(static_cast<std::size_t>(grid().n_cells()),
+                    cell::ChannelSet(spectrum_size()));
+  pending_grants_.assign(static_cast<std::size_t>(grid().n_cells()),
+                         cell::ChannelSet(spectrum_size()));
+}
+
+cell::ChannelSet BasicUpdateNode::interfered() const {
+  cell::ChannelSet out(spectrum_size());
+  for (const cell::CellId j : interference()) {
+    out |= known_use_[static_cast<std::size_t>(j)];
+    out |= pending_grants_[static_cast<std::size_t>(j)];
+  }
+  return out;
+}
+
+void BasicUpdateNode::start_request(std::uint64_t serial) {
+  try_attempt(serial, 1);
+}
+
+void BasicUpdateNode::try_attempt(std::uint64_t serial, int round) {
+  assert(!attempt_.has_value());
+  cell::ChannelSet freeSet = cell::ChannelSet::all(spectrum_size());
+  freeSet -= use_;
+  freeSet -= interfered();
+  if (freeSet.empty()) {
+    complete_blocked(serial, Outcome::kBlockedNoChannel, round - 1);
+    return;
+  }
+  // Default policy picks uniformly among believed-free channels: concurrent
+  // requesters that deterministically picked the lowest id would collide
+  // every round (the policy ablation bench quantifies this).
+  const cell::ChannelId r = pick_channel(freeSet, pick_, env().rng(id()),
+                                         pick_cursor_);
+
+  Attempt a;
+  a.serial = serial;
+  a.channel = r;
+  a.ts = clock_.tick();
+  a.round = round;
+  attempt_ = a;
+  granters_.clear();
+
+  net::Message req;
+  req.kind = net::MsgKind::kRequest;
+  req.req_type = net::ReqType::kUpdate;
+  req.serial = serial;
+  req.channel = r;
+  req.ts = attempt_->ts;
+  send_to_interference(req);
+
+  if (interference().empty()) conclude_attempt();  // isolated cell
+}
+
+void BasicUpdateNode::on_release(cell::ChannelId ch, std::uint64_t serial) {
+  net::Message rel;
+  rel.kind = net::MsgKind::kRelease;
+  rel.serial = serial;
+  rel.channel = ch;
+  send_to_interference(rel);
+}
+
+void BasicUpdateNode::on_message(const net::Message& msg) {
+  clock_.witness(msg.ts);
+  switch (msg.kind) {
+    case net::MsgKind::kRequest:
+      handle_request(msg);
+      break;
+    case net::MsgKind::kResponse:
+      handle_response(msg);
+      break;
+    case net::MsgKind::kAcquisition:
+      if (msg.channel != cell::kNoChannel) {
+        known_use_[static_cast<std::size_t>(msg.from)].insert(msg.channel);
+        pending_grants_[static_cast<std::size_t>(msg.from)].erase(msg.channel);
+      }
+      break;
+    case net::MsgKind::kRelease:
+      known_use_[static_cast<std::size_t>(msg.from)].erase(msg.channel);
+      pending_grants_[static_cast<std::size_t>(msg.from)].erase(msg.channel);
+      break;
+    default:
+      assert(false && "unexpected message kind for basic update");
+  }
+}
+
+void BasicUpdateNode::handle_request(const net::Message& msg) {
+  assert(msg.req_type == net::ReqType::kUpdate);
+  const cell::ChannelId r = msg.channel;
+  if (use_.contains(r)) {
+    reject(msg.from, msg.serial, r);
+    return;
+  }
+  if (attempt_.has_value() && attempt_->channel == r && !attempt_->aborted) {
+    if (attempt_->ts < msg.ts) {
+      // Our older request wins the tie.
+      reject(msg.from, msg.serial, r);
+      return;
+    }
+    // The older request wins: grant it and abort our own attempt; we will
+    // retry with a different channel once our in-flight responses return.
+    attempt_->aborted = true;
+  }
+  grant(msg.from, msg.serial, r);
+}
+
+void BasicUpdateNode::grant(cell::CellId to, std::uint64_t serial, cell::ChannelId r) {
+  pending_grants_[static_cast<std::size_t>(to)].insert(r);
+  net::Message resp;
+  resp.kind = net::MsgKind::kResponse;
+  resp.res_type = net::ResType::kGrant;
+  resp.serial = serial;
+  resp.channel = r;
+  resp.from = id();
+  resp.to = to;
+  env().send(resp);
+}
+
+void BasicUpdateNode::reject(cell::CellId to, std::uint64_t serial, cell::ChannelId r) {
+  net::Message resp;
+  resp.kind = net::MsgKind::kResponse;
+  resp.res_type = net::ResType::kReject;
+  resp.serial = serial;
+  resp.channel = r;
+  resp.from = id();
+  resp.to = to;
+  env().send(resp);
+}
+
+void BasicUpdateNode::handle_response(const net::Message& msg) {
+  if (!attempt_.has_value() || msg.serial != attempt_->serial) return;
+  ++attempt_->responses;
+  if (msg.res_type == net::ResType::kGrant) {
+    granters_.push_back(msg.from);
+  } else {
+    assert(msg.res_type == net::ResType::kReject);
+    attempt_->rejected = true;
+  }
+  if (attempt_->responses == static_cast<int>(interference().size()))
+    conclude_attempt();
+}
+
+void BasicUpdateNode::conclude_attempt() {
+  assert(attempt_.has_value());
+  const Attempt a = *attempt_;
+  attempt_.reset();
+
+  if (!a.rejected && !a.aborted) {
+    use_.insert(a.channel);
+    net::Message acq;
+    acq.kind = net::MsgKind::kAcquisition;
+    acq.acq_type = net::AcqType::kNonSearch;
+    acq.serial = a.serial;
+    acq.channel = a.channel;
+    send_to_interference(acq);
+    complete_acquired(a.serial, a.channel, Outcome::kAcquiredUpdate, a.round);
+    return;
+  }
+
+  // Failed attempt: return the grants we did collect.
+  for (const cell::CellId j : granters_) {
+    net::Message rel;
+    rel.kind = net::MsgKind::kRelease;
+    rel.serial = a.serial;
+    rel.channel = a.channel;
+    rel.from = id();
+    rel.to = j;
+    env().send(rel);
+  }
+  granters_.clear();
+
+  if (a.round >= max_attempts_) {
+    complete_blocked(a.serial, Outcome::kBlockedStarved, a.round);
+    return;
+  }
+  try_attempt(a.serial, a.round + 1);
+}
+
+}  // namespace dca::proto

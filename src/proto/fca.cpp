@@ -1,0 +1,27 @@
+#include "proto/fca.hpp"
+
+#include <cassert>
+
+namespace dca::proto {
+
+void FcaNode::start_request(std::uint64_t serial) {
+  const cell::ChannelSet free = primary() - use_;
+  const cell::ChannelId r = free.first();
+  if (r == cell::kNoChannel) {
+    complete_blocked(serial, Outcome::kBlockedNoChannel, 0);
+    return;
+  }
+  use_.insert(r);
+  complete_acquired(serial, r, Outcome::kAcquiredLocal, 0);
+}
+
+void FcaNode::on_release(cell::ChannelId, std::uint64_t) {
+  // Static allocation: nothing to tell anyone.
+}
+
+void FcaNode::on_message(const net::Message& msg) {
+  (void)msg;
+  assert(false && "FCA nodes never exchange messages");
+}
+
+}  // namespace dca::proto

@@ -1,0 +1,26 @@
+// Fixed channel allocation (FCA): the purely static baseline.
+//
+// Each cell serves requests exclusively from its statically assigned
+// primary set PR_i. The reuse pattern guarantees that primary sets of
+// interfering cells are disjoint, so no coordination (and no messaging) is
+// ever needed: channel acquisition time is zero and message complexity is
+// zero, but a loaded cell drops calls even when its neighbourhood holds
+// idle channels — exactly the trade-off the paper's introduction describes.
+#pragma once
+
+#include "proto/allocator.hpp"
+
+namespace dca::proto {
+
+class FcaNode final : public AllocatorNode {
+ public:
+  explicit FcaNode(const NodeContext& ctx) : AllocatorNode(ctx) {}
+
+  void on_message(const net::Message& msg) override;
+
+ protected:
+  void start_request(std::uint64_t serial) override;
+  void on_release(cell::ChannelId ch, std::uint64_t serial) override;
+};
+
+}  // namespace dca::proto

@@ -1,0 +1,56 @@
+// Channel-selection policies for schemes that pick "some free channel".
+//
+// The paper (and Dong & Lai) leave the pick unspecified; it matters a lot
+// for the update family, where two concurrent requesters that pick the
+// same channel collide and burn a retry. The policies:
+//
+//  * kRandom     — uniform over the believed-free set; concurrent
+//                  requesters spread out (the library default);
+//  * kLowest     — always the lowest-numbered free channel; deterministic
+//                  and cache-friendly but maximizes collisions;
+//  * kRoundRobin — scan from just past the previously picked channel;
+//                  decorrelates a single node's successive picks.
+#pragma once
+
+#include <cstdint>
+
+#include "cell/spectrum.hpp"
+#include "sim/random.hpp"
+
+namespace dca::proto {
+
+enum class ChannelPick : std::uint8_t { kRandom = 0, kLowest = 1, kRoundRobin = 2 };
+
+[[nodiscard]] inline const char* channel_pick_name(ChannelPick p) {
+  switch (p) {
+    case ChannelPick::kRandom: return "random";
+    case ChannelPick::kLowest: return "lowest";
+    case ChannelPick::kRoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+/// Picks one channel from a non-empty set. `cursor` is the caller's
+/// round-robin state (updated on every pick, ignored by other policies).
+[[nodiscard]] inline cell::ChannelId pick_channel(const cell::ChannelSet& freeSet,
+                                                  ChannelPick policy,
+                                                  sim::RngStream& rng,
+                                                  cell::ChannelId& cursor) {
+  switch (policy) {
+    case ChannelPick::kLowest:
+      return freeSet.first();
+    case ChannelPick::kRoundRobin: {
+      cell::ChannelId r = freeSet.next_after(cursor);
+      if (r == cell::kNoChannel) r = freeSet.first();
+      cursor = r;
+      return r;
+    }
+    case ChannelPick::kRandom:
+    default: {
+      const auto members = freeSet.to_vector();
+      return members[rng.pick_index(members.size())];
+    }
+  }
+}
+
+}  // namespace dca::proto

@@ -1,0 +1,78 @@
+#include "radio/signal.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+namespace dca::radio {
+
+namespace {
+
+double euclid(const cell::Point2D& a, const cell::Point2D& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+SirResult worst_case_sir(const cell::HexGrid& grid, const cell::ReusePlan& plan,
+                         cell::CellId cellId, double gamma) {
+  SirResult out;
+  out.sir_db = std::numeric_limits<double>::infinity();
+  const cell::Point2D serving = hex_center(grid.axial(cellId));
+  constexpr double kCellRadius = 1.0;  // hex circumradius in center units
+
+  // Evaluate each colour class the cell serves (its own colour): every
+  // primary channel shares the colour, so one evaluation suffices; for
+  // generality we simply use the cell's own colour class.
+  std::vector<cell::Point2D> interferer_pos;
+  for (const cell::CellId other : plan.primary_cells_of(
+           plan.primary(cellId).first() != cell::kNoChannel
+               ? plan.primary(cellId).first()
+               : 0)) {
+    if (other == cellId) continue;
+    interferer_pos.push_back(hex_center(grid.axial(other)));
+  }
+  if (interferer_pos.empty()) {
+    out.sir_db = std::numeric_limits<double>::infinity();
+    return out;
+  }
+
+  // Mobile at the cell-edge point nearest the closest interferer: the
+  // worst case along the line towards it.
+  double nearest = std::numeric_limits<double>::max();
+  cell::Point2D nearest_pos{};
+  for (const auto& p : interferer_pos) {
+    const double d = euclid(serving, p);
+    if (d < nearest) {
+      nearest = d;
+      nearest_pos = p;
+    }
+  }
+  out.nearest_d_over_r = nearest / kCellRadius;
+  const double ux = (nearest_pos.x - serving.x) / nearest;
+  const double uy = (nearest_pos.y - serving.y) / nearest;
+  const cell::Point2D mobile{serving.x + ux * kCellRadius,
+                             serving.y + uy * kCellRadius};
+
+  const double signal = std::pow(kCellRadius, -gamma);
+  double interference = 0.0;
+  for (const auto& p : interferer_pos) {
+    const double d = std::max(euclid(mobile, p), 1e-9);
+    interference += std::pow(d, -gamma);
+    ++out.interferers;
+  }
+  out.sir_db = 10.0 * std::log10(signal / interference);
+  return out;
+}
+
+int min_cluster_for_sir(double threshold_db, double gamma) {
+  constexpr std::array<int, 10> kValid{1, 3, 4, 7, 9, 12, 13, 16, 19, 21};
+  for (const int n : kValid) {
+    if (first_tier_sir_db(n, gamma) >= threshold_db) return n;
+  }
+  return kValid.back();
+}
+
+}  // namespace dca::radio

@@ -1,0 +1,151 @@
+#include "runner/cli.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+
+namespace dca::runner {
+
+ArgParser::ArgParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+ArgParser& ArgParser::add_string(const std::string& name, std::string default_value,
+                                 const std::string& help) {
+  order_.push_back(name);
+  options_[name] = Option{Kind::kString, default_value, std::move(default_value),
+                          help, false};
+  return *this;
+}
+
+ArgParser& ArgParser::add_int(const std::string& name, std::int64_t default_value,
+                              const std::string& help) {
+  order_.push_back(name);
+  const std::string d = std::to_string(default_value);
+  options_[name] = Option{Kind::kInt, d, d, help, false};
+  return *this;
+}
+
+ArgParser& ArgParser::add_double(const std::string& name, double default_value,
+                                 const std::string& help) {
+  order_.push_back(name);
+  std::ostringstream os;
+  os << default_value;
+  options_[name] = Option{Kind::kDouble, os.str(), os.str(), help, false};
+  return *this;
+}
+
+ArgParser& ArgParser::add_flag(const std::string& name, const std::string& help) {
+  order_.push_back(name);
+  options_[name] = Option{Kind::kFlag, "false", "false", help, false};
+  return *this;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      return true;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      error_ = "unexpected positional argument: " + arg;
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline = true;
+    }
+    const auto it = options_.find(name);
+    if (it == options_.end()) {
+      error_ = "unknown option: --" + name;
+      return false;
+    }
+    Option& opt = it->second;
+    if (opt.kind == Kind::kFlag) {
+      if (has_inline) {
+        error_ = "flag --" + name + " takes no value";
+        return false;
+      }
+      opt.value = "true";
+      opt.set = true;
+      continue;
+    }
+    if (!has_inline) {
+      if (i + 1 >= argc) {
+        error_ = "option --" + name + " needs a value";
+        return false;
+      }
+      inline_value = argv[++i];
+    }
+    // Validate numeric formats eagerly.
+    if (opt.kind == Kind::kInt) {
+      char* end = nullptr;
+      (void)std::strtoll(inline_value.c_str(), &end, 10);
+      if (end == inline_value.c_str() || *end != '\0') {
+        error_ = "option --" + name + " expects an integer, got '" +
+                 inline_value + "'";
+        return false;
+      }
+    } else if (opt.kind == Kind::kDouble) {
+      char* end = nullptr;
+      (void)std::strtod(inline_value.c_str(), &end);
+      if (end == inline_value.c_str() || *end != '\0') {
+        error_ = "option --" + name + " expects a number, got '" + inline_value +
+                 "'";
+        return false;
+      }
+    }
+    opt.value = inline_value;
+    opt.set = true;
+  }
+  return true;
+}
+
+std::string ArgParser::help_text() const {
+  std::ostringstream os;
+  os << program_ << " — " << summary_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    os << "  --" << name;
+    if (opt.kind != Kind::kFlag) os << " <" << opt.default_value << ">";
+    os << "\n      " << opt.help << "\n";
+  }
+  os << "  --help\n      show this text\n";
+  return os.str();
+}
+
+const ArgParser::Option* ArgParser::find(const std::string& name, Kind kind) const {
+  const auto it = options_.find(name);
+  assert(it != options_.end() && "accessing unregistered option");
+  assert(it->second.kind == kind && "type mismatch on option access");
+  (void)kind;
+  return &it->second;
+}
+
+std::string ArgParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString)->value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return std::strtoll(find(name, Kind::kInt)->value.c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::strtod(find(name, Kind::kDouble)->value.c_str(), nullptr);
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  return find(name, Kind::kFlag)->value == "true";
+}
+
+bool ArgParser::was_set(const std::string& name) const {
+  const auto it = options_.find(name);
+  assert(it != options_.end());
+  return it->second.set;
+}
+
+}  // namespace dca::runner

@@ -1,0 +1,67 @@
+// A small command-line option parser for the simulation tools.
+//
+// Supports `--name value` and `--flag` (boolean) options with typed
+// accessors, defaults, and generated --help text. Unknown options are an
+// error (fail fast beats silently ignored typos in experiment scripts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dca::runner {
+
+class ArgParser {
+ public:
+  /// `program` and `summary` feed the --help header.
+  ArgParser(std::string program, std::string summary);
+
+  // Option registration (call before parse()). Returns *this for chaining.
+  ArgParser& add_string(const std::string& name, std::string default_value,
+                        const std::string& help);
+  ArgParser& add_int(const std::string& name, std::int64_t default_value,
+                     const std::string& help);
+  ArgParser& add_double(const std::string& name, double default_value,
+                        const std::string& help);
+  ArgParser& add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (with `error()` set) on malformed input;
+  /// sets `help_requested()` when --help / -h is present.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] bool help_requested() const noexcept { return help_; }
+  [[nodiscard]] std::string help_text() const;
+
+  // Typed accessors (abort on unknown name — a programming error).
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// True when the user supplied the option explicitly.
+  [[nodiscard]] bool was_set(const std::string& name) const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kFlag };
+  struct Option {
+    Kind kind = Kind::kString;
+    std::string default_value;
+    std::string value;
+    std::string help;
+    bool set = false;
+  };
+
+  const Option* find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string summary_;
+  std::vector<std::string> order_;
+  std::map<std::string, Option> options_;
+  std::string error_;
+  bool help_ = false;
+};
+
+}  // namespace dca::runner

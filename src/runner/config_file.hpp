@@ -1,0 +1,37 @@
+// Scenario files: load a ScenarioConfig from a simple `key = value` text
+// format (one option per line, `#` comments), so experiment sweeps can be
+// version-controlled instead of encoded in shell history.
+//
+//   # paper-scale torus
+//   rows = 14
+//   cols = 14
+//   torus = true
+//   channels = 70
+//   theta_low = 2
+//   theta_high = 4
+//
+// Unknown keys and malformed values are errors.
+#pragma once
+
+#include <string>
+
+#include "runner/scenario.hpp"
+
+namespace dca::runner {
+
+/// Applies `text` (the file contents) onto `config`. Returns true on
+/// success; on failure returns false and sets `error` to a message with a
+/// 1-based line number.
+[[nodiscard]] bool apply_scenario_text(const std::string& text,
+                                       ScenarioConfig& config, std::string& error);
+
+/// Reads and applies a scenario file. Returns false with `error` set when
+/// the file cannot be read or parsed.
+[[nodiscard]] bool load_scenario_file(const std::string& path,
+                                      ScenarioConfig& config, std::string& error);
+
+/// Serializes a config back to the same format (round-trips through
+/// apply_scenario_text).
+[[nodiscard]] std::string scenario_to_text(const ScenarioConfig& config);
+
+}  // namespace dca::runner

@@ -1,0 +1,116 @@
+#include "runner/experiment.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+#include <thread>
+
+#include "traffic/generator.hpp"
+
+namespace dca::runner {
+
+RunResult run_profile(const ScenarioConfig& config, Scheme scheme,
+                      const traffic::LoadProfile& profile) {
+  World world(config, scheme);
+  traffic::TrafficSource source(
+      world.simulator(), world.grid(), profile, config.mean_holding_s, config.seed,
+      [&world](const traffic::CallSpec& spec) { world.submit_call(spec); });
+  source.start(config.duration);
+
+  // Run through the arrival horizon, then drain: in-flight handshakes and
+  // held calls complete, which also exercises the Theorem 2 check — a
+  // stuck request would leave the world non-quiescent.
+  world.simulator().run_until(config.duration);
+  world.simulator().run_to_quiescence();
+
+  RunResult out;
+  out.scheme = scheme;
+  out.agg = world.collector().aggregate(world.latency_bound(), config.warmup);
+  out.total_messages = world.network().total_sent();
+  for (int k = 0; k < net::kNumMsgKinds; ++k) {
+    out.messages_by_kind[static_cast<std::size_t>(k)] =
+        world.network().sent_of(static_cast<net::MsgKind>(k));
+  }
+  out.offered_calls = source.emitted();
+  out.carried_erlangs = world.carried_erlangs(config.duration);
+  out.violations = world.interference_violations();
+  out.executed_events = world.simulator().executed();
+  out.quiescent = world.quiescent();
+  return out;
+}
+
+RunResult run_uniform(const ScenarioConfig& config, Scheme scheme, double rho) {
+  const traffic::UniformProfile profile(config.arrival_rate_for_load(rho));
+  return run_profile(config, scheme, profile);
+}
+
+RunResult run_hotspot(const ScenarioConfig& config, Scheme scheme, double rho_base,
+                      double hot_factor, sim::SimTime hot_start, sim::SimTime hot_end,
+                      std::vector<cell::CellId> hot_cells) {
+  if (hot_cells.empty()) {
+    // Default hot spot: the central cell of the grid.
+    hot_cells.push_back((config.rows / 2) * config.cols + config.cols / 2);
+  }
+  const traffic::HotspotProfile profile(config.arrival_rate_for_load(rho_base),
+                                        std::move(hot_cells), hot_factor, hot_start,
+                                        hot_end);
+  return run_profile(config, scheme, profile);
+}
+
+Replicated run_replicated(const ScenarioConfig& config, Scheme scheme, double rho,
+                          int n_seeds) {
+  Replicated out;
+  out.seeds = n_seeds;
+  for (int i = 0; i < n_seeds; ++i) {
+    ScenarioConfig cfg = config;
+    cfg.seed = sim::mix64(config.seed + static_cast<std::uint64_t>(i) * 0x9E37ull);
+    const RunResult r = run_uniform(cfg, scheme, rho);
+    out.drop_rate.add(r.agg.drop_rate());
+    out.mean_delay_in_T.add(r.agg.delay_in_T.mean());
+    out.mean_msgs_per_call.add(r.agg.messages_per_call.mean());
+    out.xi1.add(r.agg.xi1);
+    out.violations += r.violations;
+  }
+  return out;
+}
+
+std::vector<SweepPoint> sweep_uniform(const ScenarioConfig& config,
+                                      const std::vector<Scheme>& schemes,
+                                      const std::vector<double>& rhos, int threads) {
+  std::vector<SweepPoint> points;
+  for (const Scheme s : schemes)
+    for (const double rho : rhos) points.push_back(SweepPoint{s, rho, {}});
+
+  if (threads < 1) threads = 1;
+  threads = std::min<int>(threads, static_cast<int>(points.size()));
+
+  if (threads == 1) {
+    for (auto& p : points) p.result = run_uniform(config, p.scheme, p.rho);
+    return points;
+  }
+
+  // Each point is an isolated World with seed-derived substreams, so the
+  // partition across workers cannot change any result.
+  std::mutex mu;
+  std::size_t next = 0;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&]() {
+      while (true) {
+        std::size_t mine;
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          if (next >= points.size()) return;
+          mine = next++;
+        }
+        points[mine].result = run_uniform(config, points[mine].scheme,
+                                          points[mine].rho);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  return points;
+}
+
+}  // namespace dca::runner

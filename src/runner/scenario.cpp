@@ -1,0 +1,51 @@
+#include "runner/scenario.hpp"
+
+#include "cell/reuse.hpp"
+#include "cell/spectrum.hpp"
+
+namespace dca::runner {
+
+std::string validate_scenario(const ScenarioConfig& c) {
+  if (c.rows < 1 || c.cols < 1) return "grid dimensions must be positive";
+  if (c.interference_radius < 1) return "interference radius must be >= 1";
+  if (c.n_channels < 1) return "need at least one channel";
+  if (c.n_channels > cell::kMaxChannels)
+    return "at most " + std::to_string(cell::kMaxChannels) + " channels supported";
+  if (!c.greedy_plan && c.cluster != 3 && c.cluster != 7)
+    return "regular reuse patterns exist for cluster sizes 3 and 7 only "
+           "(use greedy_plan for other radii)";
+  if (!c.greedy_plan && c.cluster == 3 && c.interference_radius > 1)
+    return "cluster 3 only supports interference radius 1";
+  if (!c.greedy_plan && c.cluster == 7 && c.interference_radius > 2)
+    return "cluster 7 only supports interference radius <= 2";
+  if (c.wrap == cell::Wrap::kToroidal) {
+    if (c.rows % 2 != 0)
+      return "toroidal grids need an even row count (odd-r offset seam)";
+    if (c.rows <= 2 * c.interference_radius || c.cols <= 2 * c.interference_radius)
+      return "toroidal grid too small: a cell would wrap into its own "
+             "interference region";
+  }
+  if (c.mean_holding_s <= 0.0) return "mean holding time must be positive";
+  if (c.latency < 0) return "latency cannot be negative";
+  if (c.duration <= 0) return "duration must be positive";
+  if (c.max_update_attempts < 1) return "retry cap must be >= 1";
+  if (c.adaptive.theta_low < 1) return "theta_low must be >= 1 (DESIGN.md note 4)";
+  if (c.adaptive.theta_high <= c.adaptive.theta_low)
+    return "theta_high must exceed theta_low (hysteresis)";
+  if (c.adaptive.alpha < 1) return "alpha must be >= 1";
+  if (c.adaptive.window <= 0) return "NFC window must be positive";
+
+  // Final authority: build the actual geometry and validate the colouring
+  // (catches e.g. torus dimensions incompatible with the cluster pattern).
+  const cell::HexGrid grid(c.rows, c.cols, c.interference_radius, c.wrap);
+  const cell::ReusePlan plan =
+      c.greedy_plan ? cell::ReusePlan::greedy(grid, c.n_channels)
+                    : cell::ReusePlan::cluster(grid, c.n_channels, c.cluster);
+  if (!plan.validate(grid)) {
+    return "reuse plan invalid for this grid (for a cluster-7 torus use "
+           "rows % 14 == 0 and cols % 7 == 0, e.g. 14x14; or greedy_plan)";
+  }
+  return "";
+}
+
+}  // namespace dca::runner

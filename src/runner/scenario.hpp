@@ -1,0 +1,96 @@
+// Scenario configuration: everything needed to assemble a reproducible
+// simulated cellular system.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cell/grid.hpp"
+#include "core/params.hpp"
+#include "proto/policy.hpp"
+#include "sim/types.hpp"
+
+namespace dca::runner {
+
+/// The channel-allocation schemes under study.
+enum class Scheme {
+  kFca,             // static baseline
+  kBasicSearch,     // Dong & Lai basic search
+  kBasicUpdate,     // Dong & Lai basic update
+  kAdvancedUpdate,  // Dong & Lai advanced update (TR-48)
+  kAdvancedSearch,  // Prakash/Shivaratri/Singhal allocated-set scheme [8]
+  kAdaptive,        // the paper's proposed scheme
+};
+
+[[nodiscard]] std::string scheme_name(Scheme s);
+
+/// All schemes in presentation order (the paper's table order, FCA first).
+inline constexpr Scheme kAllSchemes[] = {
+    Scheme::kFca,            Scheme::kBasicSearch,    Scheme::kBasicUpdate,
+    Scheme::kAdvancedUpdate, Scheme::kAdvancedSearch, Scheme::kAdaptive};
+
+/// The four schemes the paper's tables compare (no FCA row).
+inline constexpr Scheme kPaperSchemes[] = {
+    Scheme::kBasicSearch, Scheme::kBasicUpdate, Scheme::kAdvancedUpdate,
+    Scheme::kAdaptive};
+
+struct ScenarioConfig {
+  // Topology (paper Fig. 1 setting: hexagonal array, reuse distance 3
+  // cell hops => interference radius 2, cluster-7 reuse pattern).
+  int rows = 8;
+  int cols = 8;
+  int interference_radius = 2;
+  int n_channels = 70;
+  int cluster = 7;
+  /// kToroidal removes boundary effects (every cell gets the full interior
+  /// neighbourhood); needs rows % 14 == 0 and cols % 7 == 0 for a valid
+  /// wrapped cluster-7 colouring (e.g. 14x14).
+  cell::Wrap wrap = cell::Wrap::kBounded;
+
+  /// When true, the primary assignment uses a greedy colouring of the
+  /// interference graph instead of the regular cluster pattern — the only
+  /// option for radii with no regular pattern (e.g. radius 3); `cluster`
+  /// is ignored and the colour count is whatever the greedy needs.
+  bool greedy_plan = false;
+
+  // Traffic.
+  double mean_holding_s = 180.0;
+
+  // Network.
+  sim::Duration latency = sim::milliseconds(5);  // the paper's T
+  sim::Duration latency_jitter = 0;  // >0: uniform in [latency-j, latency]
+
+  // Execution.
+  std::uint64_t seed = 1;
+  sim::Duration duration = sim::minutes(30);
+  sim::Duration warmup = sim::minutes(5);
+
+  // Update-family retry cap (the paper's schemes may retry unboundedly;
+  // see DESIGN.md faithfulness note 7).
+  int max_update_attempts = 10;
+
+  // Channel-selection policy of the basic update scheme.
+  proto::ChannelPick update_pick = proto::ChannelPick::kRandom;
+
+  // Adaptive-scheme tuning (Section 3.5).
+  core::AdaptiveParams adaptive;
+
+  // Mobility (optional handoff model; 0 disables).
+  double mean_dwell_s = 0.0;
+
+  /// Offered load per cell in Erlangs normalized to the primary-set size:
+  /// rho = lambda * holding / |PR|  =>  lambda = rho * |PR| / holding.
+  [[nodiscard]] double arrival_rate_for_load(double rho) const {
+    const double pr = static_cast<double>(n_channels) / static_cast<double>(cluster);
+    return rho * pr / mean_holding_s;
+  }
+};
+
+/// Checks a configuration for the constraint violations that would
+/// otherwise fail deep inside construction (invalid torus dimensions for
+/// the cluster pattern, unsupported cluster size, spectrum overflow,
+/// inverted hysteresis, ...). Returns an empty string when valid, else a
+/// human-readable description of the first problem.
+[[nodiscard]] std::string validate_scenario(const ScenarioConfig& config);
+
+}  // namespace dca::runner

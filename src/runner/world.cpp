@@ -1,0 +1,287 @@
+#include "runner/world.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "core/adaptive.hpp"
+#include "proto/advanced_search.hpp"
+#include "proto/advanced_update.hpp"
+#include "proto/basic_search.hpp"
+#include "proto/basic_update.hpp"
+#include "proto/fca.hpp"
+
+namespace dca::runner {
+
+std::string scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kFca: return "FCA (static)";
+    case Scheme::kBasicSearch: return "Basic Search";
+    case Scheme::kBasicUpdate: return "Basic Update";
+    case Scheme::kAdvancedUpdate: return "Advanced Update";
+    case Scheme::kAdvancedSearch: return "Advanced Search";
+    case Scheme::kAdaptive: return "Adaptive (proposed)";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<net::LatencyModel> make_latency(const ScenarioConfig& c) {
+  if (c.latency_jitter > 0) {
+    const sim::Duration lo =
+        c.latency > c.latency_jitter ? c.latency - c.latency_jitter : 1;
+    return std::make_unique<net::JitterLatency>(
+        lo, c.latency, sim::RngStream::derive(c.seed, 0x1a7e11cull));
+  }
+  return std::make_unique<net::FixedLatency>(c.latency);
+}
+
+}  // namespace
+
+World::World(const ScenarioConfig& config, Scheme scheme,
+             std::unique_ptr<net::LatencyModel> latency_override)
+    : config_(config),
+      scheme_(scheme),
+      grid_(config.rows, config.cols, config.interference_radius, config.wrap),
+      plan_(config.greedy_plan
+                ? cell::ReusePlan::greedy(grid_, config.n_channels)
+                : cell::ReusePlan::cluster(grid_, config.n_channels, config.cluster)),
+      mobility_rng_(sim::RngStream::derive(config.seed, 0xd3e11ull)) {
+  // A broken reuse plan voids every guarantee downstream; fail fast even
+  // in release builds (e.g. a torus whose dimensions don't fit the
+  // cluster pattern: cluster 7 needs rows % 14 == 0 and cols % 7 == 0).
+  if (!plan_.validate(grid_)) {
+    const std::string plan_name =
+        config_.greedy_plan ? "greedy" : "cluster " + std::to_string(config_.cluster);
+    std::fprintf(stderr,
+                 "World: reuse plan invalid for %dx%d grid (radius %d, %s%s)"
+                 " — interfering cells would share primary channels\n",
+                 config_.rows, config_.cols, config_.interference_radius,
+                 plan_name.c_str(),
+                 config_.wrap == cell::Wrap::kToroidal ? ", toroidal" : "");
+    std::abort();
+  }
+  net_ = std::make_unique<net::Network>(
+      sim_, latency_override ? std::move(latency_override) : make_latency(config_));
+  net_->set_receiver([this](const net::Message& msg) {
+    nodes_[static_cast<std::size_t>(msg.to)]->on_message(msg);
+  });
+  net_->set_observer([this](const net::Message& msg) { collector_.on_message(msg); });
+
+  const auto n = static_cast<std::size_t>(grid_.n_cells());
+  truth_.assign(n, cell::ChannelSet(config_.n_channels));
+  node_rng_.reserve(n);
+  for (cell::CellId c = 0; c < grid_.n_cells(); ++c) {
+    node_rng_.push_back(
+        sim::RngStream::derive(config_.seed, 0x90de000ull + static_cast<std::uint64_t>(c)));
+  }
+
+  nodes_.reserve(n);
+  for (cell::CellId c = 0; c < grid_.n_cells(); ++c) {
+    proto::NodeContext ctx{c, &grid_, &plan_, this};
+    switch (scheme_) {
+      case Scheme::kFca:
+        nodes_.push_back(std::make_unique<proto::FcaNode>(ctx));
+        break;
+      case Scheme::kBasicSearch:
+        nodes_.push_back(std::make_unique<proto::BasicSearchNode>(ctx));
+        break;
+      case Scheme::kBasicUpdate:
+        nodes_.push_back(std::make_unique<proto::BasicUpdateNode>(
+            ctx, config_.max_update_attempts, config_.update_pick));
+        break;
+      case Scheme::kAdvancedUpdate:
+        nodes_.push_back(std::make_unique<proto::AdvancedUpdateNode>(
+            ctx, config_.max_update_attempts));
+        break;
+      case Scheme::kAdvancedSearch:
+        nodes_.push_back(std::make_unique<proto::AdvancedSearchNode>(
+            ctx, config_.max_update_attempts));
+        break;
+      case Scheme::kAdaptive:
+        nodes_.push_back(std::make_unique<core::AdaptiveNode>(ctx, config_.adaptive));
+        break;
+    }
+  }
+}
+
+World::~World() = default;
+
+void World::submit_call(const traffic::CallSpec& spec) {
+  const std::uint64_t serial = next_serial_++;
+  pending_[serial] = PendingCall{spec.id, spec.holding, /*is_handoff=*/false};
+  collector_.open(serial, spec.id, spec.cell, sim_.now(), /*is_handoff=*/false);
+  nodes_[static_cast<std::size_t>(spec.cell)]->request_channel(serial);
+}
+
+sim::SimTime World::now() const { return sim_.now(); }
+
+void World::send(net::Message msg) { net_->send(std::move(msg)); }
+
+sim::Duration World::latency_bound() const { return net_->max_one_way_latency(); }
+
+sim::RngStream& World::rng(cell::CellId cellId) {
+  return node_rng_[static_cast<std::size_t>(cellId)];
+}
+
+void World::notify_acquired(cell::CellId cellId, std::uint64_t serial,
+                            cell::ChannelId ch, proto::Outcome how, int attempts) {
+  // ---- Theorem 1 invariant: no co-channel use within the reuse distance.
+  for (const cell::CellId j : grid_.interference(cellId)) {
+    if (truth_[static_cast<std::size_t>(j)].contains(ch)) {
+      ++violations_;
+      std::fprintf(stderr,
+                   "[T1 VIOLATION] t=%lld cell=%d ch=%d how=%s attempts=%d "
+                   "conflicts with cell=%d (primary-of-acquirer=%d "
+                   "primary-of-holder=%d dist=%d)\n",
+                   static_cast<long long>(sim_.now()), cellId, ch,
+                   proto::outcome_name(how).c_str(), attempts, j,
+                   static_cast<int>(plan_.is_primary(cellId, ch)),
+                   static_cast<int>(plan_.is_primary(j, ch)),
+                   grid_.distance(cellId, j));
+      assert(false && "co-channel interference: Theorem 1 violated");
+    }
+  }
+  truth_[static_cast<std::size_t>(cellId)].insert(ch);
+  accumulate_usage();
+  ++channels_in_use_;
+
+  // ---- environment samples for the paper's N_borrow / N_search.
+  int borrowing = 0;
+  int searching = 0;
+  for (const cell::CellId j : grid_.interference(cellId)) {
+    const auto& nb = *nodes_[static_cast<std::size_t>(j)];
+    if (nb.is_borrowing()) ++borrowing;
+    if (nb.is_searching()) ++searching;
+  }
+  if (nodes_[static_cast<std::size_t>(cellId)]->is_searching()) ++searching;
+
+  collector_.close(serial, sim_.now(), how, attempts, borrowing, searching);
+
+  const auto it = pending_.find(serial);
+  assert(it != pending_.end());
+  const PendingCall pc = it->second;
+  pending_.erase(it);
+
+  ActiveCall state;
+  state.call = pc.call;
+  state.cellId = cellId;
+  state.channel = ch;
+  state.ends = sim_.now() + pc.remaining;
+  schedule_call_progress(serial, state);
+}
+
+void World::schedule_call_progress(std::uint64_t serial, ActiveCall state) {
+  active_[serial] = state;
+  sim::SimTime next_event = state.ends;
+  if (config_.mean_dwell_s > 0.0) {
+    const sim::Duration dwell =
+        sim::from_seconds(mobility_rng_.exponential_mean(config_.mean_dwell_s));
+    if (sim_.now() + dwell < state.ends) next_event = sim_.now() + dwell;
+  }
+  sim_.schedule_at(next_event, [this, serial]() { end_or_handoff(serial); });
+}
+
+void World::end_or_handoff(std::uint64_t serial) {
+  const auto it = active_.find(serial);
+  assert(it != active_.end());
+  const ActiveCall state = it->second;
+  active_.erase(it);
+
+  // Release in the current cell either way.
+  nodes_[static_cast<std::size_t>(state.cellId)]->release_channel(state.channel,
+                                                                  serial);
+
+  if (sim_.now() >= state.ends) return;  // call completed normally
+
+  // Handoff: the mobile moved to a random neighbouring cell mid-call; it
+  // needs a fresh channel there, obtained with a new request.
+  const auto neigh = grid_.neighbors(state.cellId);
+  if (neigh.empty()) return;
+  const cell::CellId dest =
+      neigh[mobility_rng_.pick_index(neigh.size())];
+  const std::uint64_t new_serial = next_serial_++;
+  pending_[new_serial] =
+      PendingCall{state.call, state.ends - sim_.now(), /*is_handoff=*/true};
+  collector_.open(new_serial, state.call, dest, sim_.now(), /*is_handoff=*/true);
+  nodes_[static_cast<std::size_t>(dest)]->request_channel(new_serial);
+}
+
+void World::notify_blocked(cell::CellId cellId, std::uint64_t serial,
+                           proto::Outcome why, int attempts) {
+  int borrowing = 0;
+  int searching = 0;
+  for (const cell::CellId j : grid_.interference(cellId)) {
+    const auto& nb = *nodes_[static_cast<std::size_t>(j)];
+    if (nb.is_borrowing()) ++borrowing;
+    if (nb.is_searching()) ++searching;
+  }
+  collector_.close(serial, sim_.now(), why, attempts, borrowing, searching);
+  pending_.erase(serial);
+}
+
+void World::notify_released(cell::CellId cellId, cell::ChannelId ch) {
+  assert(truth_[static_cast<std::size_t>(cellId)].contains(ch));
+  truth_[static_cast<std::size_t>(cellId)].erase(ch);
+  accumulate_usage();
+  --channels_in_use_;
+  assert(channels_in_use_ >= 0);
+}
+
+void World::notify_reassigned(cell::CellId cellId, cell::ChannelId from_ch,
+                              cell::ChannelId to_ch) {
+  // Same Theorem-1 check as a fresh acquisition of to_ch.
+  for (const cell::CellId j : grid_.interference(cellId)) {
+    if (truth_[static_cast<std::size_t>(j)].contains(to_ch)) {
+      ++violations_;
+      std::fprintf(stderr,
+                   "[T1 VIOLATION] t=%lld cell=%d reassign %d->%d conflicts "
+                   "with cell=%d\n",
+                   static_cast<long long>(sim_.now()), cellId, from_ch, to_ch, j);
+      assert(false && "co-channel interference on reassignment");
+    }
+  }
+  assert(truth_[static_cast<std::size_t>(cellId)].contains(from_ch));
+  truth_[static_cast<std::size_t>(cellId)].erase(from_ch);
+  truth_[static_cast<std::size_t>(cellId)].insert(to_ch);
+  ++reassignments_;
+
+  // Re-key the active call carried on from_ch.
+  for (auto& [serial, call] : active_) {
+    if (call.cellId == cellId && call.channel == from_ch) {
+      call.channel = to_ch;
+      return;
+    }
+  }
+  assert(false && "reassignment of a channel with no active call");
+}
+
+void World::accumulate_usage() {
+  usage_integral_ += static_cast<double>(sim_.now() - last_usage_change_) *
+                     static_cast<double>(channels_in_use_);
+  last_usage_change_ = sim_.now();
+}
+
+double World::carried_erlangs(sim::SimTime horizon) const {
+  if (horizon <= 0) return 0.0;
+  double integral = usage_integral_;
+  if (last_usage_change_ < horizon) {
+    integral += static_cast<double>(horizon - last_usage_change_) *
+                static_cast<double>(channels_in_use_);
+  }
+  return integral / static_cast<double>(horizon);
+}
+
+bool World::quiescent() const {
+  if (!pending_.empty()) return false;
+  if (collector_.open_count() != 0) return false;
+  for (const auto& n : nodes_) {
+    if (n->busy() || n->queued() != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace dca::runner

@@ -1,0 +1,141 @@
+// The World: one fully assembled simulated cellular system — grid, reuse
+// plan, network, one allocator node per cell, metrics collector, call
+// lifecycle management, and the global safety invariant checker.
+//
+// The World implements proto::NodeEnv, so nodes see it as their
+// environment. It owns the ground truth of channel usage and verifies the
+// paper's Theorem 1 (no co-channel interference within the reuse distance)
+// at every single acquisition; violations are counted and, in debug
+// builds, assert.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cell/grid.hpp"
+#include "cell/reuse.hpp"
+#include "metrics/collector.hpp"
+#include "net/network.hpp"
+#include "proto/allocator.hpp"
+#include "runner/scenario.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/call.hpp"
+
+namespace dca::runner {
+
+class World final : public proto::NodeEnv {
+ public:
+  /// Builds the world; `latency_override` (optional) replaces the scenario
+  /// latency model (used by the Fig. 11 scripted scenario).
+  World(const ScenarioConfig& config, Scheme scheme,
+        std::unique_ptr<net::LatencyModel> latency_override = nullptr);
+  ~World() override;
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Offers one call to the system: opens its metrics record and submits
+  /// the channel request to the arrival cell's MSS.
+  void submit_call(const traffic::CallSpec& spec);
+
+  // -- NodeEnv ------------------------------------------------------------
+  [[nodiscard]] sim::SimTime now() const override;
+  void send(net::Message msg) override;
+  [[nodiscard]] sim::Duration latency_bound() const override;
+  void notify_acquired(cell::CellId cellId, std::uint64_t serial, cell::ChannelId ch,
+                       proto::Outcome how, int attempts) override;
+  void notify_blocked(cell::CellId cellId, std::uint64_t serial, proto::Outcome why,
+                      int attempts) override;
+  void notify_released(cell::CellId cellId, cell::ChannelId ch) override;
+  void notify_reassigned(cell::CellId cellId, cell::ChannelId from_ch,
+                         cell::ChannelId to_ch) override;
+  sim::RngStream& rng(cell::CellId cellId) override;
+
+  // -- accessors ------------------------------------------------------------
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] net::Network& network() noexcept { return *net_; }
+  [[nodiscard]] const cell::HexGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] const cell::ReusePlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] proto::AllocatorNode& node(cell::CellId c) {
+    return *nodes_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] const proto::AllocatorNode& node(cell::CellId c) const {
+    return *nodes_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] metrics::Collector& collector() noexcept { return collector_; }
+  [[nodiscard]] const metrics::Collector& collector() const noexcept {
+    return collector_;
+  }
+  [[nodiscard]] const ScenarioConfig& config() const noexcept { return config_; }
+  [[nodiscard]] Scheme scheme() const noexcept { return scheme_; }
+
+  /// Theorem 1 violations observed (must stay 0).
+  [[nodiscard]] std::uint64_t interference_violations() const noexcept {
+    return violations_;
+  }
+  /// Intra-cell channel reassignments performed (repacking extension).
+  [[nodiscard]] std::uint64_t reassignments() const noexcept {
+    return reassignments_;
+  }
+  /// Calls currently holding a channel.
+  [[nodiscard]] std::size_t active_calls() const noexcept { return active_.size(); }
+
+  /// Ground-truth usage of a cell (for tests: must equal node(c).in_use()).
+  [[nodiscard]] const cell::ChannelSet& ground_truth_use(cell::CellId c) const {
+    return truth_[static_cast<std::size_t>(c)];
+  }
+
+  /// Asserts end-of-run quiescence sanity (Theorem 2 style checks): no
+  /// open requests remain once the event queue drains. Returns true if ok.
+  [[nodiscard]] bool quiescent() const;
+
+  /// Carried traffic in Erlangs: the time-weighted mean number of channels
+  /// simultaneously in use system-wide, integrated up to `horizon` (pass
+  /// the run duration; the integral freezes once usage stops changing).
+  [[nodiscard]] double carried_erlangs(sim::SimTime horizon) const;
+
+ private:
+  struct ActiveCall {
+    traffic::CallId call = 0;
+    cell::CellId cellId = cell::kNoCell;
+    cell::ChannelId channel = cell::kNoChannel;
+    sim::SimTime ends = 0;  // absolute completion time of the whole call
+  };
+  struct PendingCall {
+    traffic::CallId call = 0;
+    sim::Duration remaining = 0;  // holding time still owed at grant
+    bool is_handoff = false;
+  };
+
+  void end_or_handoff(std::uint64_t serial);
+  void schedule_call_progress(std::uint64_t serial, ActiveCall state);
+
+  ScenarioConfig config_;
+  Scheme scheme_;
+  sim::Simulator sim_;
+  cell::HexGrid grid_;
+  cell::ReusePlan plan_;
+  std::unique_ptr<net::Network> net_;
+  std::vector<std::unique_ptr<proto::AllocatorNode>> nodes_;
+  std::vector<sim::RngStream> node_rng_;
+  sim::RngStream mobility_rng_;
+  metrics::Collector collector_;
+
+  std::uint64_t next_serial_ = 1;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;  // serial -> in-flight
+  std::unordered_map<std::uint64_t, ActiveCall> active_;    // serial -> holding
+  std::vector<cell::ChannelSet> truth_;                     // ground-truth usage
+  std::uint64_t violations_ = 0;
+  std::uint64_t reassignments_ = 0;
+
+  // Time-weighted channel-usage integral (channel-microseconds).
+  void accumulate_usage();
+  double usage_integral_ = 0.0;
+  std::int64_t channels_in_use_ = 0;
+  sim::SimTime last_usage_change_ = 0;
+};
+
+}  // namespace dca::runner

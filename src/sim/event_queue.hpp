@@ -1,0 +1,121 @@
+// A deterministic pending-event set for discrete-event simulation.
+//
+// Events are ordered by (time, sequence number): two events scheduled for
+// the same instant fire in the order they were scheduled. The sequence
+// number makes the ordering a strict total order, which is what guarantees
+// replay determinism.
+//
+// Cancellation is supported through lazy deletion: cancel() marks the
+// event's slot and pop() skips cancelled entries. This keeps both schedule
+// and cancel at O(log n) amortized without the bookkeeping of an indexed
+// heap; cancelled entries are purged as they surface.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace dca::sim {
+
+/// Opaque handle identifying a scheduled event; used only for cancellation.
+using EventId = std::uint64_t;
+
+/// Sentinel returned when a handle is not needed.
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `action` to fire at absolute time `when`.
+  /// Returns a handle usable with cancel().
+  EventId schedule(SimTime when, Action action) {
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, id, std::move(action)});
+    live_ids_.insert(id);
+    return id;
+  }
+
+  /// Cancels a previously scheduled event. Cancelling an event that already
+  /// fired (or was already cancelled) is a harmless no-op: only ids that
+  /// are actually live produce a tombstone, so stale handles can never
+  /// corrupt the live count.
+  void cancel(EventId id) {
+    if (id == kInvalidEventId) return;
+    if (live_ids_.erase(id) != 0) cancelled_.insert(id);
+  }
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const noexcept { return live_ids_.empty(); }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_ids_.size(); }
+
+  /// Time of the earliest live event; kTimeNever when empty.
+  [[nodiscard]] SimTime next_time() {
+    purge();
+    return heap_.empty() ? kTimeNever : heap_.top().when;
+  }
+
+  /// Removes and returns the earliest live event.
+  /// Precondition: !empty().
+  struct Fired {
+    SimTime when;
+    EventId id;
+    Action action;
+  };
+  Fired pop() {
+    purge();
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    live_ids_.erase(top.id);
+    return Fired{top.when, top.id, std::move(top.action)};
+  }
+
+  /// Discards all pending events.
+  void clear() {
+    heap_ = {};
+    cancelled_.clear();
+    live_ids_.clear();
+  }
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // earlier-scheduled first on ties
+    }
+  };
+
+  // Drops cancelled entries sitting at the top of the heap.
+  void purge() {
+    while (!heap_.empty()) {
+      auto it = cancelled_.find(heap_.top().id);
+      if (it == cancelled_.end()) break;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;  // cancelled but still in the heap
+  std::unordered_set<EventId> live_ids_;   // scheduled, not fired, not cancelled
+  EventId next_id_ = 1;  // 0 is kInvalidEventId
+};
+
+}  // namespace dca::sim

@@ -1,0 +1,50 @@
+// Minimal structured trace log for simulation debugging.
+//
+// Tracing is off by default and costs a single branch per call site when
+// disabled. When enabled, lines carry the simulated timestamp so protocol
+// interleavings can be read directly off the trace.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace dca::sim {
+
+enum class LogLevel : int { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+class TraceLog {
+ public:
+  using Sink = std::function<void(std::string_view line)>;
+
+  TraceLog() = default;
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel at) const noexcept {
+    return static_cast<int>(at) <= static_cast<int>(level_);
+  }
+
+  /// Replaces the output sink (default: stderr).
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Emits one line: "[<t in s>] <what>". No-op below the current level.
+  void emit(LogLevel at, SimTime now, std::string_view what);
+
+ private:
+  LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
+};
+
+/// Convenience formatter: streams all arguments into one string.
+template <typename... Args>
+std::string format_line(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+
+}  // namespace dca::sim

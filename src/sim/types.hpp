@@ -1,0 +1,53 @@
+// Core time types for the discrete-event simulation kernel.
+//
+// Simulated time is a signed 64-bit count of *microseconds*. An integral
+// representation keeps the kernel deterministic: event ordering never
+// depends on floating-point rounding, so a given (scenario, seed) pair
+// always replays the exact same trajectory.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dca::sim {
+
+/// Absolute simulated time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time in microseconds.
+using Duration = std::int64_t;
+
+/// Sentinel for "never" / "no deadline".
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::max();
+
+/// Simulation epoch.
+inline constexpr SimTime kTimeZero = 0;
+
+// -- Duration constructors ---------------------------------------------------
+
+constexpr Duration microseconds(std::int64_t us) noexcept { return us; }
+constexpr Duration milliseconds(std::int64_t ms) noexcept { return ms * 1000; }
+constexpr Duration seconds(std::int64_t s) noexcept { return s * 1'000'000; }
+constexpr Duration minutes(std::int64_t m) noexcept { return m * 60'000'000; }
+
+/// Converts a real-valued second count (e.g. a mean holding time drawn from
+/// an exponential distribution) to the integral microsecond representation.
+/// Values are truncated toward zero; negative inputs clamp to zero because a
+/// negative delay is never meaningful for scheduling.
+constexpr Duration from_seconds(double s) noexcept {
+  if (s <= 0.0) return 0;
+  return static_cast<Duration>(s * 1e6);
+}
+
+/// Converts simulated microseconds back to floating-point seconds for
+/// reporting.
+constexpr double to_seconds(Duration d) noexcept {
+  return static_cast<double>(d) / 1e6;
+}
+
+/// Converts simulated microseconds to floating-point milliseconds.
+constexpr double to_milliseconds(Duration d) noexcept {
+  return static_cast<double>(d) / 1e3;
+}
+
+}  // namespace dca::sim

@@ -1,0 +1,27 @@
+// Call records: the unit of offered load.
+//
+// A call arrives at a cell at a simulated instant and, if admitted, holds
+// one channel for its holding time. Calls denied a channel are dropped
+// (blocked) — the paper's "calls denied service" metric. With mobility
+// enabled, an in-progress call can also hand off to a neighbouring cell;
+// a handoff that cannot obtain a channel in the new cell is a forced
+// termination, which we count separately from new-call blocking.
+#pragma once
+
+#include <cstdint>
+
+#include "cell/grid.hpp"
+#include "sim/types.hpp"
+
+namespace dca::traffic {
+
+using CallId = std::uint64_t;
+
+struct CallSpec {
+  CallId id = 0;
+  cell::CellId cell = cell::kNoCell;  // cell of arrival
+  sim::SimTime arrival = 0;           // arrival instant
+  sim::Duration holding = 0;          // total requested holding time
+};
+
+}  // namespace dca::traffic

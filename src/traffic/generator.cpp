@@ -1,0 +1,61 @@
+#include "traffic/generator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace dca::traffic {
+
+TrafficSource::TrafficSource(sim::Simulator& simulator, const cell::HexGrid& grid,
+                             const LoadProfile& profile, double mean_holding_seconds,
+                             std::uint64_t seed, Sink sink)
+    : sim_(simulator),
+      grid_(grid),
+      profile_(profile),
+      mean_holding_(mean_holding_seconds),
+      sink_(std::move(sink)) {
+  assert(mean_holding_ > 0.0);
+  const int n = grid_.n_cells();
+  arrival_rng_.reserve(static_cast<std::size_t>(n));
+  holding_rng_.reserve(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    arrival_rng_.push_back(
+        sim::RngStream::derive(seed, static_cast<std::uint64_t>(c)));
+    holding_rng_.push_back(
+        sim::RngStream::derive(seed, static_cast<std::uint64_t>(c + n)));
+  }
+}
+
+void TrafficSource::start(sim::SimTime horizon) {
+  horizon_ = horizon;
+  for (cell::CellId c = 0; c < grid_.n_cells(); ++c) schedule_next(c);
+}
+
+void TrafficSource::schedule_next(cell::CellId c) {
+  auto& rng = arrival_rng_[static_cast<std::size_t>(c)];
+  const double ceiling = profile_.max_rate(c);
+  if (ceiling <= 0.0) return;  // silent cell
+
+  // Draw the next candidate at the ceiling rate; thin on firing.
+  const sim::Duration gap = rng.exponential_gap(ceiling);
+  const sim::SimTime when = sim_.now() + gap;
+  if (when >= horizon_) return;
+
+  sim_.schedule_at(when, [this, c]() {
+    auto& r = arrival_rng_[static_cast<std::size_t>(c)];
+    const double ceiling_now = profile_.max_rate(c);
+    const double accept_p = profile_.rate(c, sim_.now()) / ceiling_now;
+    if (r.uniform() < accept_p) {
+      CallSpec call;
+      call.id = next_id_++;
+      call.cell = c;
+      call.arrival = sim_.now();
+      call.holding = sim::from_seconds(
+          holding_rng_[static_cast<std::size_t>(c)].exponential_mean(mean_holding_));
+      if (call.holding <= 0) call.holding = 1;
+      sink_(call);
+    }
+    schedule_next(c);
+  });
+}
+
+}  // namespace dca::traffic

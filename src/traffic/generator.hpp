@@ -1,0 +1,52 @@
+// Poisson call-arrival generator.
+//
+// One independent arrival process per cell, each on its own RNG substream
+// (so adding a cell or changing one cell's profile never perturbs another
+// cell's arrival trajectory). Time-varying profiles are sampled exactly via
+// Lewis–Shedler thinning against the profile's per-cell rate ceiling.
+// Holding times are exponential with a configurable mean.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cell/grid.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/call.hpp"
+#include "traffic/profile.hpp"
+
+namespace dca::traffic {
+
+class TrafficSource {
+ public:
+  /// Invoked at each accepted arrival instant.
+  using Sink = std::function<void(const CallSpec&)>;
+
+  /// `seed` labels the whole source; cell c draws from substream
+  /// (seed, c) for arrivals and (seed, c + n_cells) for holding times.
+  TrafficSource(sim::Simulator& simulator, const cell::HexGrid& grid,
+                const LoadProfile& profile, double mean_holding_seconds,
+                std::uint64_t seed, Sink sink);
+
+  /// Begins generating arrivals in [now, horizon). Call once.
+  void start(sim::SimTime horizon);
+
+  /// Number of calls emitted so far.
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return next_id_ - 1; }
+
+ private:
+  void schedule_next(cell::CellId c);
+
+  sim::Simulator& sim_;
+  const cell::HexGrid& grid_;
+  const LoadProfile& profile_;
+  double mean_holding_;
+  Sink sink_;
+  sim::SimTime horizon_ = 0;
+  CallId next_id_ = 1;
+  std::vector<sim::RngStream> arrival_rng_;  // by cell
+  std::vector<sim::RngStream> holding_rng_;  // by cell
+};
+
+}  // namespace dca::traffic

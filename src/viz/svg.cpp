@@ -1,0 +1,125 @@
+#include "viz/svg.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+namespace dca::viz {
+
+namespace {
+
+// A categorical palette with enough contrast for up to 19 colour classes
+// (greedy plans at radius 3 need that many); wraps beyond.
+const char* kPalette[] = {
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
+    "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac", "#1b9e77", "#d95f02",
+    "#7570b3", "#e7298a", "#66a61e", "#e6ab02", "#a6761d", "#666666",
+    "#a0cbe8",
+};
+constexpr int kPaletteSize = static_cast<int>(std::size(kPalette));
+
+struct Pt {
+  double x, y;
+};
+
+// Pointy-top hexagon corners around a center, circumradius r.
+std::array<Pt, 6> corners(Pt c, double r) {
+  std::array<Pt, 6> out{};
+  for (int k = 0; k < 6; ++k) {
+    const double a = (60.0 * k - 30.0) * 3.14159265358979323846 / 180.0;
+    out[static_cast<std::size_t>(k)] = {c.x + r * std::cos(a),
+                                        c.y + r * std::sin(a)};
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_svg(const cell::HexGrid& grid, const cell::ReusePlan& plan,
+                       const SvgOptions& options) {
+  const double s = options.scale;
+  // Layout bounds from the hex centers (unit circumradius geometry).
+  double minx = 1e9, miny = 1e9, maxx = -1e9, maxy = -1e9;
+  std::vector<Pt> centers;
+  centers.reserve(static_cast<std::size_t>(grid.n_cells()));
+  for (cell::CellId c = 0; c < grid.n_cells(); ++c) {
+    const auto p = hex_center(grid.axial(c));
+    centers.push_back({p.x * s, p.y * s});
+    minx = std::min(minx, p.x * s);
+    maxx = std::max(maxx, p.x * s);
+    miny = std::min(miny, p.y * s);
+    maxy = std::max(maxy, p.y * s);
+  }
+  const double pad = 1.5 * s;
+  const double ox = pad - minx;
+  const double oy = pad - miny;
+  const double width = maxx - minx + 2 * pad;
+  const double height = maxy - miny + 2 * pad;
+
+  const int heat_scale =
+      options.heat_scale > 0
+          ? options.heat_scale
+          : std::max(1, plan.n_channels() / std::max(1, plan.n_colors()));
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << ' ' << height
+      << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  for (cell::CellId c = 0; c < grid.n_cells(); ++c) {
+    const Pt center{centers[static_cast<std::size_t>(c)].x + ox,
+                    centers[static_cast<std::size_t>(c)].y + oy};
+    const auto hex = corners(center, s * 0.96);
+    const int color = plan.color_of(c);
+    const char* fill = kPalette[color % kPaletteSize];
+
+    double opacity = 0.55;
+    if (!options.in_use.empty()) {
+      const double load =
+          static_cast<double>(options.in_use[static_cast<std::size_t>(c)]) /
+          static_cast<double>(heat_scale);
+      opacity = 0.10 + 0.85 * std::clamp(load, 0.0, 1.0);
+    }
+
+    std::string stroke = "#444444";
+    double stroke_width = 1.0;
+    if (options.focus != cell::kNoCell) {
+      if (c == options.focus) {
+        stroke = "#000000";
+        stroke_width = 3.0;
+      } else if (grid.interferes(options.focus, c)) {
+        stroke = "#cc0000";
+        stroke_width = 2.0;
+      }
+    }
+
+    svg << "<polygon points=\"";
+    for (const Pt& p : hex) svg << p.x << ',' << p.y << ' ';
+    svg << "\" fill=\"" << fill << "\" fill-opacity=\"" << opacity
+        << "\" stroke=\"" << stroke << "\" stroke-width=\"" << stroke_width
+        << "\"/>\n";
+
+    if (options.label_ids || options.label_colors) {
+      svg << "<text x=\"" << center.x << "\" y=\"" << center.y + s * 0.18
+          << "\" font-size=\"" << s * 0.5
+          << "\" font-family=\"sans-serif\" text-anchor=\"middle\" fill=\"#222\">"
+          << (options.label_ids ? c : plan.color_of(c)) << "</text>\n";
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+bool write_svg(const std::string& path, const cell::HexGrid& grid,
+               const cell::ReusePlan& plan, const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render_svg(grid, plan, options);
+  return static_cast<bool>(out);
+}
+
+}  // namespace dca::viz

@@ -1,0 +1,41 @@
+// SVG rendering of the cellular system: the hex grid, the reuse
+// colouring, one cell's interference region, and (optionally) a channel
+// usage snapshot — Fig. 1 of the paper as a picture you can actually
+// inspect, plus a load heat map for hot-spot experiments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cell/grid.hpp"
+#include "cell/reuse.hpp"
+
+namespace dca::viz {
+
+struct SvgOptions {
+  /// Highlight this cell and its interference region (kNoCell = off).
+  cell::CellId focus = cell::kNoCell;
+  /// Per-cell channels-in-use counts for the heat overlay (empty = off).
+  /// When set, fill opacity scales with usage instead of flat colouring.
+  std::vector<int> in_use;
+  /// Value that maps to full heat (defaults to |PR| when 0).
+  int heat_scale = 0;
+  /// Print the cell id inside each hexagon.
+  bool label_ids = true;
+  /// Print the colour class instead of the id (ignored if label_ids).
+  bool label_colors = false;
+  /// Pixels per cell circumradius.
+  double scale = 24.0;
+};
+
+/// Renders the grid under `plan` to a standalone SVG document.
+[[nodiscard]] std::string render_svg(const cell::HexGrid& grid,
+                                     const cell::ReusePlan& plan,
+                                     const SvgOptions& options = {});
+
+/// Convenience: render_svg written to `path`. Returns false on I/O error.
+[[nodiscard]] bool write_svg(const std::string& path, const cell::HexGrid& grid,
+                             const cell::ReusePlan& plan,
+                             const SvgOptions& options = {});
+
+}  // namespace dca::viz

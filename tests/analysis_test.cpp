@@ -1,0 +1,171 @@
+// Unit tests for the closed-form performance model — these assert the
+// exact rows of the paper's Tables 1, 2 and 3 under their stated
+// conditions, which is the analytic half of the reproduction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/formulas.hpp"
+
+namespace dca::analysis {
+namespace {
+
+ModelParams low_load() {
+  // The paper's Table 2 premises: ξ1 = 1, m = 0, N_search = 1, N_borrow = 0.
+  ModelParams p;
+  p.N = 18;
+  p.N_borrow = 0;
+  p.N_search = 1;
+  p.m = 0;
+  p.xi1 = 1;
+  p.xi2 = 0;
+  p.xi3 = 0;
+  return p;
+}
+
+// ------------------------------------------------------------- Table 2 ----
+
+TEST(Table2, BasicSearchRow) {
+  const Cost c = basic_search_low_load(low_load());
+  EXPECT_DOUBLE_EQ(c.messages, 36.0);  // 2N
+  EXPECT_DOUBLE_EQ(c.time_in_T, 2.0);  // 2T
+}
+
+TEST(Table2, BasicUpdateRow) {
+  const Cost c = basic_update_low_load(low_load());
+  EXPECT_DOUBLE_EQ(c.messages, 72.0);  // 4N
+  EXPECT_DOUBLE_EQ(c.time_in_T, 2.0);
+}
+
+TEST(Table2, AdvancedUpdateRow) {
+  const Cost c = advanced_update_low_load(low_load());
+  EXPECT_DOUBLE_EQ(c.messages, 36.0);  // 2N
+  EXPECT_DOUBLE_EQ(c.time_in_T, 0.0);
+}
+
+TEST(Table2, AdaptiveRowIsFree) {
+  const Cost c = adaptive_low_load(low_load());
+  EXPECT_DOUBLE_EQ(c.messages, 0.0);
+  EXPECT_DOUBLE_EQ(c.time_in_T, 0.0);
+}
+
+TEST(Table2, GeneralFormulasSpecializeToLowLoadAdaptive) {
+  // With ξ1=1, N_borrow=0 the general adaptive expressions collapse to 0.
+  const Cost c = adaptive_general(low_load());
+  EXPECT_DOUBLE_EQ(c.messages, 0.0);
+  EXPECT_DOUBLE_EQ(c.time_in_T, 0.0);
+}
+
+// ------------------------------------------------------------- Table 1 ----
+
+TEST(Table1, BasicSearchGeneral) {
+  ModelParams p = low_load();
+  p.N_search = 3;
+  const Cost c = basic_search_general(p);
+  EXPECT_DOUBLE_EQ(c.messages, 36.0);          // 2N, load-independent
+  EXPECT_DOUBLE_EQ(c.time_in_T, 4.0);          // (N_search + 1) T
+}
+
+TEST(Table1, BasicUpdateGeneralGrowsWithAttempts) {
+  ModelParams p = low_load();
+  p.m = 2.5;
+  const Cost c = basic_update_general(p);
+  EXPECT_DOUBLE_EQ(c.messages, 2 * 18 * 2.5 + 2 * 18);  // 2Nm + 2N
+  EXPECT_DOUBLE_EQ(c.time_in_T, 5.0);                   // 2Tm
+}
+
+TEST(Table1, AdvancedUpdateGeneral) {
+  ModelParams p = low_load();
+  p.xi1 = 0.6;
+  p.m = 2.0;
+  p.n_p = 3;
+  const Cost c = advanced_update_general(p);
+  // (1-ξ1)(2 n_p m + n_p (m-1)) + 2N = 0.4*(12+3) + 36 = 42
+  EXPECT_DOUBLE_EQ(c.messages, 42.0);
+  EXPECT_DOUBLE_EQ(c.time_in_T, 0.4 * 2 * 2.0);
+}
+
+TEST(Table1, AdvancedUpdateFullyLocalPaysOnlyBroadcasts) {
+  ModelParams p = low_load();
+  p.xi1 = 1.0;
+  const Cost c = advanced_update_general(p);
+  EXPECT_DOUBLE_EQ(c.messages, 36.0);
+  EXPECT_DOUBLE_EQ(c.time_in_T, 0.0);
+}
+
+TEST(Table1, AdaptiveGeneralCombinesRegimes) {
+  ModelParams p;
+  p.N = 18;
+  p.N_borrow = 4;
+  p.N_search = 2;
+  p.alpha = 3;
+  p.m = 1.5;
+  p.xi1 = 0.7;
+  p.xi2 = 0.2;
+  p.xi3 = 0.1;
+  const Cost c = adaptive_general(p);
+  // msgs: 2*0.7*4 + 3*0.2*1.5*18 + 0.1*13*18 = 5.6 + 16.2 + 23.4 = 45.2
+  EXPECT_NEAR(c.messages, 45.2, 1e-9);
+  // time: 2*1.5*0.2 + (6+2+1)*0.1 = 0.6 + 0.9 = 1.5
+  EXPECT_NEAR(c.time_in_T, 1.5, 1e-9);
+}
+
+TEST(Table1, AdaptiveBeatsBasicUpdateWhenMostlyLocal) {
+  ModelParams p;
+  p.N = 18;
+  p.N_borrow = 1;
+  p.m = 1.2;
+  p.xi1 = 0.9;
+  p.xi2 = 0.08;
+  p.xi3 = 0.02;
+  EXPECT_LT(adaptive_general(p).messages, basic_update_general(p).messages);
+  EXPECT_LT(adaptive_general(p).time_in_T, basic_update_general(p).time_in_T);
+}
+
+// ------------------------------------------------------------- Table 3 ----
+
+TEST(Table3, BasicSearchBounds) {
+  const Bounds b = basic_search_bounds(low_load());
+  EXPECT_DOUBLE_EQ(b.minimum.messages, 36.0);
+  EXPECT_DOUBLE_EQ(b.maximum.messages, 36.0);
+  EXPECT_DOUBLE_EQ(b.minimum.time_in_T, 2.0);
+  EXPECT_DOUBLE_EQ(b.maximum.time_in_T, 19.0);  // (N+1) T
+}
+
+TEST(Table3, UpdateFamilyIsUnboundedAtTheTop) {
+  const Bounds bu = basic_update_bounds(low_load());
+  EXPECT_TRUE(std::isinf(bu.maximum.messages));
+  EXPECT_TRUE(std::isinf(bu.maximum.time_in_T));
+  const Bounds au = advanced_update_bounds(low_load());
+  EXPECT_DOUBLE_EQ(au.minimum.messages, 18.0);  // N
+  EXPECT_DOUBLE_EQ(au.minimum.time_in_T, 0.0);
+  EXPECT_TRUE(std::isinf(au.maximum.messages));
+}
+
+TEST(Table3, AdaptiveBoundsAreFiniteAndStartAtZero) {
+  ModelParams p = low_load();
+  p.alpha = 3;
+  const Bounds b = adaptive_bounds(p);
+  EXPECT_DOUBLE_EQ(b.minimum.messages, 0.0);
+  EXPECT_DOUBLE_EQ(b.minimum.time_in_T, 0.0);
+  EXPECT_DOUBLE_EQ(b.maximum.messages, 2 * 3 * 18 + 4 * 18.0);  // 2αN + 4N
+  EXPECT_DOUBLE_EQ(b.maximum.time_in_T, 2 * 3 * 18 + 1.0);      // (2αN + 1) T
+  EXPECT_FALSE(std::isinf(b.maximum.messages));
+}
+
+TEST(Table3, AdaptiveIsTheOnlyZeroMinimumScheme) {
+  const auto p = low_load();
+  EXPECT_GT(basic_search_bounds(p).minimum.messages, 0.0);
+  EXPECT_GT(basic_update_bounds(p).minimum.messages, 0.0);
+  EXPECT_GT(advanced_update_bounds(p).minimum.messages, 0.0);
+  EXPECT_DOUBLE_EQ(adaptive_bounds(p).minimum.messages, 0.0);
+}
+
+TEST(FormatBound, RendersInfinityAndNumbers) {
+  EXPECT_EQ(format_bound(kUnbounded), "inf");
+  EXPECT_EQ(format_bound(36.0), "36");
+  EXPECT_EQ(format_bound(1.25, 2), "1.25");
+}
+
+}  // namespace
+}  // namespace dca::analysis

@@ -1,0 +1,115 @@
+// Randomized-scenario stress: generate many short random configurations
+// (grid shape, topology, radius/plan, spectrum, load, latency model,
+// mobility, scheme) from a seeded stream and require the universal
+// invariants on every one. This catches interactions the hand-written
+// scenarios never construct.
+#include <gtest/gtest.h>
+
+#include "runner/experiment.hpp"
+#include "sim/random.hpp"
+#include "test_util.hpp"
+
+namespace dca {
+namespace {
+
+using runner::RunResult;
+using runner::Scheme;
+
+struct RandomScenario {
+  runner::ScenarioConfig cfg;
+  Scheme scheme = Scheme::kFca;
+  double rho = 0.5;
+};
+
+RandomScenario draw(sim::RngStream& rng) {
+  RandomScenario s;
+  // Topology: bounded grids of assorted shapes; occasionally the 14x14
+  // torus (the only wrap shape valid for cluster 7).
+  if (rng.bernoulli(0.25)) {
+    s.cfg.rows = 14;
+    s.cfg.cols = 14;
+    s.cfg.wrap = cell::Wrap::kToroidal;
+  } else {
+    s.cfg.rows = static_cast<int>(rng.uniform_int(3, 9));
+    s.cfg.cols = static_cast<int>(rng.uniform_int(3, 9));
+    s.cfg.wrap = cell::Wrap::kBounded;
+  }
+  // Plan: cluster 7 at radius 2, cluster 3 at radius 1, or greedy at
+  // radius 1..3 (greedy only on bounded grids — wrapped greedy is valid
+  // too but needs the torus constraint checked; keep the simple split).
+  const int plan_kind = static_cast<int>(rng.uniform_int(0, 2));
+  if (plan_kind == 0) {
+    s.cfg.interference_radius = 2;
+    s.cfg.cluster = 7;
+    s.cfg.greedy_plan = false;
+  } else if (plan_kind == 1 && s.cfg.wrap == cell::Wrap::kBounded) {
+    s.cfg.interference_radius = 1;
+    s.cfg.cluster = 3;
+    s.cfg.greedy_plan = false;
+  } else {
+    s.cfg.interference_radius =
+        s.cfg.wrap == cell::Wrap::kToroidal
+            ? 2
+            : static_cast<int>(rng.uniform_int(1, 3));
+    s.cfg.greedy_plan = true;
+  }
+  s.cfg.n_channels = static_cast<int>(rng.uniform_int(14, 80));
+  s.cfg.mean_holding_s = rng.uniform(20.0, 120.0);
+  s.cfg.latency = rng.uniform_int(1000, 50'000);  // 1..50 ms
+  if (rng.bernoulli(0.4)) s.cfg.latency_jitter = s.cfg.latency / 2;
+  if (rng.bernoulli(0.3)) s.cfg.mean_dwell_s = rng.uniform(20.0, 120.0);
+  s.cfg.duration = sim::minutes(3);
+  s.cfg.warmup = 0;
+  s.cfg.seed = rng.uniform_int(1, 1 << 30);
+  s.cfg.max_update_attempts = static_cast<int>(rng.uniform_int(1, 12));
+  s.cfg.update_pick = static_cast<proto::ChannelPick>(rng.uniform_int(0, 2));
+  // Adaptive thresholds scaled to the (smallest possible) primary pool;
+  // occasionally unreachable theta_high (permanent borrowing) on purpose.
+  s.cfg.adaptive.theta_low = 1;
+  s.cfg.adaptive.theta_high = static_cast<int>(rng.uniform_int(2, 4));
+  s.cfg.adaptive.alpha = static_cast<int>(rng.uniform_int(1, 5));
+  s.cfg.adaptive.strict_fig4 = rng.bernoulli(0.5);
+  s.cfg.adaptive.use_best_heuristic = rng.bernoulli(0.8);
+  s.cfg.adaptive.repack = rng.bernoulli(0.5);
+
+  const Scheme schemes[] = {Scheme::kFca,            Scheme::kBasicSearch,
+                            Scheme::kBasicUpdate,    Scheme::kAdvancedUpdate,
+                            Scheme::kAdvancedSearch, Scheme::kAdaptive};
+  s.scheme = schemes[rng.pick_index(std::size(schemes))];
+  s.rho = rng.uniform(0.1, 1.3);  // including overload
+  return s;
+}
+
+TEST(FuzzScenario, InvariantsHoldOnRandomConfigurations) {
+  sim::RngStream rng(0xF022ED);
+  for (int trial = 0; trial < 120; ++trial) {
+    const RandomScenario s = draw(rng);
+    const RunResult r = runner::run_uniform(s.cfg, s.scheme, s.rho);
+    SCOPED_TRACE(testing::Message()
+                 << "trial " << trial << " scheme "
+                 << runner::scheme_name(s.scheme) << " grid " << s.cfg.rows << "x"
+                 << s.cfg.cols << (s.cfg.wrap == cell::Wrap::kToroidal ? " torus" : "")
+                 << " radius " << s.cfg.interference_radius
+                 << (s.cfg.greedy_plan ? " greedy" : " cluster") << " channels "
+                 << s.cfg.n_channels << " rho " << s.rho << " seed "
+                 << s.cfg.seed);
+    EXPECT_EQ(r.violations, 0u);
+    EXPECT_TRUE(r.quiescent);
+    EXPECT_EQ(r.agg.offered, r.agg.acquired + r.agg.blocked + r.agg.starved);
+    EXPECT_GE(r.agg.delay_us.min(), 0.0);
+  }
+}
+
+TEST(FuzzScenario, RandomConfigurationsReplayDeterministically) {
+  sim::RngStream rng(0xD373C7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const RandomScenario s = draw(rng);
+    const RunResult a = runner::run_uniform(s.cfg, s.scheme, s.rho);
+    const RunResult b = runner::run_uniform(s.cfg, s.scheme, s.rho);
+    EXPECT_EQ(a.executed_events, b.executed_events) << "trial " << trial;
+    EXPECT_EQ(a.total_messages, b.total_messages) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace dca

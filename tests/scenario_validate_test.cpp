@@ -1,0 +1,87 @@
+// Tests for scenario validation (fail-fast configuration checking).
+#include <gtest/gtest.h>
+
+#include "runner/scenario.hpp"
+#include "test_util.hpp"
+
+namespace dca::runner {
+namespace {
+
+TEST(ValidateScenario, DefaultsAreValid) {
+  EXPECT_EQ(validate_scenario(ScenarioConfig{}), "");
+  EXPECT_EQ(validate_scenario(testutil::small_config()), "");
+  EXPECT_EQ(validate_scenario(testutil::paper_config()), "");
+}
+
+TEST(ValidateScenario, ValidTorusPasses) {
+  ScenarioConfig c;
+  c.rows = 14;
+  c.cols = 14;
+  c.wrap = cell::Wrap::kToroidal;
+  EXPECT_EQ(validate_scenario(c), "");
+}
+
+TEST(ValidateScenario, MisalignedTorusRejected) {
+  ScenarioConfig c;
+  c.rows = 8;
+  c.cols = 8;
+  c.wrap = cell::Wrap::kToroidal;
+  EXPECT_NE(validate_scenario(c), "");
+}
+
+TEST(ValidateScenario, OddRowTorusRejected) {
+  ScenarioConfig c;
+  c.rows = 7;
+  c.cols = 14;
+  c.wrap = cell::Wrap::kToroidal;
+  EXPECT_NE(validate_scenario(c).find("even row"), std::string::npos);
+}
+
+TEST(ValidateScenario, TinyTorusRejected) {
+  ScenarioConfig c;
+  c.rows = 4;
+  c.cols = 4;
+  c.wrap = cell::Wrap::kToroidal;
+  c.greedy_plan = true;
+  EXPECT_NE(validate_scenario(c).find("too small"), std::string::npos);
+}
+
+TEST(ValidateScenario, BadClusterRadiusCombos) {
+  ScenarioConfig c;
+  c.cluster = 3;
+  c.interference_radius = 2;
+  EXPECT_NE(validate_scenario(c), "");
+  c.cluster = 7;
+  c.interference_radius = 3;
+  EXPECT_NE(validate_scenario(c), "");
+  c.cluster = 4;
+  c.interference_radius = 1;
+  EXPECT_NE(validate_scenario(c).find("cluster sizes 3 and 7"), std::string::npos);
+  c.greedy_plan = true;
+  c.interference_radius = 3;
+  EXPECT_EQ(validate_scenario(c), "") << "greedy supports any radius";
+}
+
+TEST(ValidateScenario, ParameterRangeChecks) {
+  ScenarioConfig c;
+  c.n_channels = 0;
+  EXPECT_NE(validate_scenario(c), "");
+  c = ScenarioConfig{};
+  c.n_channels = cell::kMaxChannels + 1;
+  EXPECT_NE(validate_scenario(c), "");
+  c = ScenarioConfig{};
+  c.adaptive.theta_low = 0;
+  EXPECT_NE(validate_scenario(c), "");
+  c = ScenarioConfig{};
+  c.adaptive.theta_high = c.adaptive.theta_low;
+  EXPECT_NE(validate_scenario(c).find("hysteresis"), std::string::npos);
+  c = ScenarioConfig{};
+  c.mean_holding_s = 0.0;
+  EXPECT_NE(validate_scenario(c), "");
+  c = ScenarioConfig{};
+  c.max_update_attempts = 0;
+  EXPECT_NE(validate_scenario(c), "");
+}
+
+}  // namespace
+}  // namespace dca::runner

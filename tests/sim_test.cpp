@@ -1,0 +1,245 @@
+// Unit tests for the discrete-event kernel: event ordering, cancellation,
+// clock semantics, RNG stream independence, and the trace log.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/log.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace dca::sim {
+namespace {
+
+TEST(Types, DurationConstructors) {
+  EXPECT_EQ(microseconds(7), 7);
+  EXPECT_EQ(milliseconds(3), 3000);
+  EXPECT_EQ(seconds(2), 2'000'000);
+  EXPECT_EQ(minutes(1), 60'000'000);
+}
+
+TEST(Types, FromSecondsTruncatesAndClamps) {
+  EXPECT_EQ(from_seconds(1.5), 1'500'000);
+  EXPECT_EQ(from_seconds(0.0), 0);
+  EXPECT_EQ(from_seconds(-3.0), 0);
+  EXPECT_DOUBLE_EQ(to_seconds(2'500'000), 2.5);
+  EXPECT_DOUBLE_EQ(to_milliseconds(2'500), 2.5);
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(30, [&] { fired.push_back(3); });
+  q.schedule(10, [&] { fired.push_back(1); });
+  q.schedule(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakBySchedulingOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(42, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(5, [&] { ran = true; });
+  q.schedule(6, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().action();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelledHeadIsSkippedByNextTime) {
+  EventQueue q;
+  const EventId id = q.schedule(5, [] {});
+  q.schedule(9, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), 9);
+}
+
+TEST(EventQueue, CancelAfterFireDoesNotCorruptLiveCount) {
+  // Regression (code review): cancelling an id that already fired used to
+  // insert a tombstone and decrement the live count, making empty() report
+  // true while a real event was still pending.
+  EventQueue q;
+  const EventId fired = q.schedule(1, [] {});
+  q.pop().action();          // `fired` is gone
+  bool ran = false;
+  q.schedule(2, [&] { ran = true; });
+  q.cancel(fired);           // stale handle: must be a true no-op
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.size(), 1u);
+  ASSERT_FALSE(q.empty());
+  q.pop().action();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelTwiceAndCancelInvalidAreNoops) {
+  EventQueue q;
+  const EventId id = q.schedule(5, [] {});
+  q.cancel(id);
+  q.cancel(id);
+  q.cancel(kInvalidEventId);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kTimeNever);
+}
+
+TEST(Simulator, NowAdvancesToEventTime) {
+  Simulator s;
+  SimTime seen = -1;
+  s.schedule_in(100, [&] { seen = s.now(); });
+  s.run_to_quiescence();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Simulator, NegativeDelayMeansNow) {
+  Simulator s;
+  s.schedule_in(50, [] {});
+  s.run_to_quiescence();
+  SimTime seen = -1;
+  s.schedule_in(-10, [&] { seen = s.now(); });
+  s.run_to_quiescence();
+  EXPECT_EQ(seen, 50);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator s;
+  int fired = 0;
+  for (SimTime t = 10; t <= 100; t += 10) s.schedule_at(t, [&] { ++fired; });
+  s.run_until(55);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(s.now(), 55);  // clock moves to the deadline even with no event there
+  s.run_to_quiescence();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, EventsAtDeadlineDoFire) {
+  Simulator s;
+  bool ran = false;
+  s.schedule_at(70, [&] { ran = true; });
+  s.run_until(70);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, EventsScheduleMoreEvents) {
+  Simulator s;
+  std::vector<SimTime> ticks;
+  std::function<void()> chain = [&] {
+    ticks.push_back(s.now());
+    if (ticks.size() < 4) s.schedule_in(10, chain);
+  };
+  s.schedule_in(10, chain);
+  s.run_to_quiescence();
+  EXPECT_EQ(ticks, (std::vector<SimTime>{10, 20, 30, 40}));
+}
+
+TEST(Simulator, ExecutedCountsEvents) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule_in(i, [] {});
+  s.run_to_quiescence();
+  EXPECT_EQ(s.executed(), 7u);
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  RngStream a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DerivedStreamsDiffer) {
+  RngStream a = RngStream::derive(1, 0);
+  RngStream b = RngStream::derive(1, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ExponentialMeanIsApproximatelyRight) {
+  RngStream r(7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential_mean(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, ExponentialGapIsPositive) {
+  RngStream r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.exponential_gap(1e9), 1);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  RngStream r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, PickIndexInRange) {
+  RngStream r(13);
+  for (int i = 0; i < 500; ++i) EXPECT_LT(r.pick_index(7), 7u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  RngStream r(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(TraceLog, DisabledByDefault) {
+  TraceLog log;
+  int lines = 0;
+  log.set_sink([&](std::string_view) { ++lines; });
+  log.emit(LogLevel::kInfo, 0, "hello");
+  EXPECT_EQ(lines, 0);
+}
+
+TEST(TraceLog, EmitsAtOrBelowLevelWithTimestamp) {
+  TraceLog log;
+  std::vector<std::string> lines;
+  log.set_sink([&](std::string_view l) { lines.emplace_back(l); });
+  log.set_level(LogLevel::kDebug);
+  log.emit(LogLevel::kInfo, 2'500'000, "a");
+  log.emit(LogLevel::kDebug, 0, "b");
+  log.emit(LogLevel::kTrace, 0, "c");  // above level: dropped
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("2.500000"), std::string::npos);
+  EXPECT_NE(lines[0].find("a"), std::string::npos);
+}
+
+TEST(TraceLog, FormatLineConcatenates) {
+  EXPECT_EQ(format_line("x=", 3, " y=", 4.5), "x=3 y=4.5");
+}
+
+}  // namespace
+}  // namespace dca::sim

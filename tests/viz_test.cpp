@@ -1,0 +1,102 @@
+// Structural tests for the SVG renderer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cell/grid.hpp"
+#include "cell/reuse.hpp"
+#include "viz/svg.hpp"
+
+namespace dca::viz {
+namespace {
+
+std::size_t count_occurrences(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (auto pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Svg, OnePolygonPerCell) {
+  const cell::HexGrid grid(5, 6, 2);
+  const auto plan = cell::ReusePlan::cluster(grid, 70, 7);
+  const std::string svg = render_svg(grid, plan);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(count_occurrences(svg, "<polygon"), 30u);
+  EXPECT_EQ(count_occurrences(svg, "<text"), 30u) << "one id label per cell";
+}
+
+TEST(Svg, UsesOneFillPerColorClass) {
+  const cell::HexGrid grid(7, 7, 2);
+  const auto plan = cell::ReusePlan::cluster(grid, 70, 7);
+  const std::string svg = render_svg(grid, plan);
+  // Count distinct 6-digit fill colours among polygons (the id labels use
+  // the short #222, which the hex-length filter excludes): exactly 7
+  // colour classes.
+  const auto is_hex = [](char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+  };
+  std::set<std::string> fills;
+  for (auto pos = svg.find("fill=\"#"); pos != std::string::npos;
+       pos = svg.find("fill=\"#", pos + 1)) {
+    const std::string token = svg.substr(pos + 6, 7);
+    bool ok = token.size() == 7 && token[0] == '#';
+    for (std::size_t i = 1; ok && i < 7; ++i) ok = is_hex(token[i]);
+    if (ok) fills.insert(token);
+  }
+  EXPECT_EQ(fills.size(), 7u);
+}
+
+TEST(Svg, FocusHighlightsInterferenceRegion) {
+  const cell::HexGrid grid(8, 8, 2);
+  const auto plan = cell::ReusePlan::cluster(grid, 70, 7);
+  SvgOptions opt;
+  opt.focus = 4 * 8 + 4;
+  const std::string svg = render_svg(grid, plan, opt);
+  // Focus stroke appears once; interference strokes once per IN member.
+  EXPECT_EQ(count_occurrences(svg, "stroke=\"#000000\""), 1u);
+  EXPECT_EQ(count_occurrences(svg, "stroke=\"#cc0000\""),
+            grid.interference(opt.focus).size());
+}
+
+TEST(Svg, HeatOverlayVariesOpacity) {
+  const cell::HexGrid grid(3, 3, 1);
+  const auto plan = cell::ReusePlan::cluster(grid, 21, 3);
+  SvgOptions opt;
+  opt.in_use.assign(9, 0);
+  opt.in_use[4] = 7;
+  opt.heat_scale = 7;
+  opt.label_ids = false;
+  const std::string svg = render_svg(grid, plan, opt);
+  EXPECT_NE(svg.find("fill-opacity=\"0.95\""), std::string::npos)
+      << "fully loaded cell at max heat";
+  EXPECT_NE(svg.find("fill-opacity=\"0.1\""), std::string::npos)
+      << "idle cells at base heat";
+  EXPECT_EQ(count_occurrences(svg, "<text"), 0u);
+}
+
+TEST(Svg, WriteSvgRoundTrips) {
+  const cell::HexGrid grid(2, 2, 1);
+  const auto plan = cell::ReusePlan::cluster(grid, 21, 3);
+  const std::string path = "/tmp/dca_viz_test.svg";
+  ASSERT_TRUE(write_svg(path, grid, plan));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, render_svg(grid, plan));
+  std::remove(path.c_str());
+}
+
+TEST(Svg, WriteToBadPathFails) {
+  const cell::HexGrid grid(2, 2, 1);
+  const auto plan = cell::ReusePlan::cluster(grid, 21, 3);
+  EXPECT_FALSE(write_svg("/nonexistent-dir/x.svg", grid, plan));
+}
+
+}  // namespace
+}  // namespace dca::viz
