@@ -1,6 +1,7 @@
 #include "core/adaptive.hpp"
 
 #include <cassert>
+#include <iterator>
 #include <limits>
 
 namespace dca::core {
@@ -64,6 +65,7 @@ void AdaptiveNode::proceed() {
   // well (DESIGN.md note on deviations).
   if (!awaiting_.empty()) {
     req_->phase = Phase::kWaitQuiet;
+    arm_timer(resilience().request_timeout, [this]() { on_phase_timeout(); });
     return;
   }
 
@@ -91,6 +93,7 @@ void AdaptiveNode::proceed() {
     req_->phase = Phase::kWaitStatus;
     req_->wave = change_wave_;
     req_->statuses = 0;
+    arm_timer(resilience().request_timeout, [this]() { on_phase_timeout(); });
     if (interference().empty()) proceed();  // nobody to hear from
     return;
   }
@@ -126,12 +129,18 @@ void AdaptiveNode::begin_update_round(ChannelId ch) {
   req_->rejected = false;
   req_->granters.clear();
 
+  arm_timer(resilience().request_timeout, [this]() { on_phase_timeout(); });
+
   net::Message msg;
   msg.kind = net::MsgKind::kRequest;
   msg.req_type = net::ReqType::kUpdate;
   msg.serial = req_->serial;
   msg.channel = ch;
   msg.ts = req_->ts;
+  // Round tag, echoed by every grant/reject: a straggler from a timed-out
+  // earlier round — which may have asked for the SAME channel — must not
+  // be miscounted into the current round.
+  msg.wave = static_cast<std::uint64_t>(req_->rounds);
   send_to_interference(msg);
 }
 
@@ -141,6 +150,8 @@ void AdaptiveNode::begin_search_round() {
   req_->phase = Phase::kSearchRound;
   req_->channel = kNoChannel;
   req_->responses = 0;
+  trace_search_start(req_->serial, req_->ts);
+  arm_timer(resilience().request_timeout, [this]() { on_phase_timeout(); });
 
   net::Message msg;
   msg.kind = net::MsgKind::kRequest;
@@ -180,8 +191,51 @@ void AdaptiveNode::conclude_update_round() {
 
 void AdaptiveNode::conclude_search_round(ChannelId r) {
   assert(req_.has_value() && req_->phase == Phase::kSearchRound);
+  trace_search_decide(req_->serial, r, r != kNoChannel, false);
   finish_request(r, 3,
                  r != kNoChannel ? Outcome::kAcquiredSearch : Outcome::kBlockedNoChannel);
+}
+
+void AdaptiveNode::on_phase_timeout() {
+  assert(req_.has_value());
+  trace_timeout(req_->serial, static_cast<int>(req_->phase));
+  switch (req_->phase) {
+    case Phase::kWaitQuiet:
+      // Nothing was sent on behalf of this request yet: fail it cleanly.
+      // awaiting_ keeps its entries — the discipline must hold for the
+      // next request, and every answered searcher still announces
+      // eventually (even aborting ones do).
+      finish_request(kNoChannel, mode_ == 0 ? 0 : 1, Outcome::kBlockedTimeout);
+      break;
+    case Phase::kWaitStatus:
+      // Proceed with the statuses that did arrive. Stale knowledge costs
+      // extra rejects at worst; the grant handshake still arbitrates.
+      proceed();
+      break;
+    case Phase::kUpdateRound: {
+      // Abort the round: release the channel at EVERY neighbour — a grant
+      // may still be in flight, and per-link FIFO orders our REQUEST
+      // before this RELEASE, so no pending grant leaks. Then fall back to
+      // borrowing-idle and retry; after alpha rounds proceed() degrades
+      // to the search round (the paper's mode-3 fallback).
+      net::Message rel;
+      rel.kind = net::MsgKind::kRelease;
+      rel.serial = req_->serial;
+      rel.channel = req_->channel;
+      send_to_interference(rel);
+      req_->granters.clear();
+      req_->channel = kNoChannel;
+      mode_ = 1;
+      proceed();
+      break;
+    }
+    case Phase::kSearchRound:
+      // Give up on the whole request. finish_request(prev_mode = 3) sends
+      // the failure announcement that unblocks everyone waiting on us.
+      trace_search_decide(req_->serial, kNoChannel, false, true);
+      finish_request(kNoChannel, 3, Outcome::kBlockedTimeout);
+      break;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -190,6 +244,7 @@ void AdaptiveNode::conclude_search_round(ChannelId r) {
 
 void AdaptiveNode::finish_request(ChannelId r, int prev_mode, Outcome how) {
   assert(req_.has_value());
+  disarm_timer();
   const Request done = *req_;
   req_.reset();
 
@@ -252,9 +307,9 @@ void AdaptiveNode::drain_deferq() {
     defer_.pop_front();
     if (d.type == net::ReqType::kUpdate) {
       if (use_.contains(d.channel)) {
-        send_reject(d.from, d.serial, d.channel);
+        send_reject(d.from, d.serial, d.wave, d.channel);
       } else {
-        send_grant(d.from, d.serial, d.channel);
+        send_grant(d.from, d.serial, d.wave, d.channel);
       }
     } else {
       awaiting_.insert(d.from);
@@ -281,9 +336,9 @@ void AdaptiveNode::handle_update_request(const net::Message& msg) {
     case 0:
     case 1:
       if (use_.contains(q)) {
-        send_reject(msg.from, msg.serial, q);
+        send_reject(msg.from, msg.serial, msg.wave, q);
       } else {
-        send_grant(msg.from, msg.serial, q);
+        send_grant(msg.from, msg.serial, msg.wave, q);
         check_mode();
       }
       break;
@@ -294,9 +349,9 @@ void AdaptiveNode::handle_update_request(const net::Message& msg) {
       const bool reject_conflict =
           params_.strict_fig4 ? ours_older : (same_channel && ours_older);
       if (use_.contains(q) || reject_conflict) {
-        send_reject(msg.from, msg.serial, q);
+        send_reject(msg.from, msg.serial, msg.wave, q);
       } else {
-        send_grant(msg.from, msg.serial, q);
+        send_grant(msg.from, msg.serial, msg.wave, q);
         check_mode();
       }
       break;
@@ -305,18 +360,18 @@ void AdaptiveNode::handle_update_request(const net::Message& msg) {
       assert(req_.has_value());
       if (req_->ts < msg.ts) {
         defer_.push_back(DeferredReq{net::ReqType::kUpdate, q, msg.ts, msg.from,
-                                     msg.serial});
+                                     msg.serial, msg.wave});
       } else if (use_.contains(q)) {
         // The paper's Fig. 4 case 3 grants older requests unconditionally,
         // but the requester's information may be stale by up to 2T: if q
         // is in OUR use set the grant would license co-channel
         // interference (found by the randomized-scenario fuzz suite; see
         // DESIGN.md faithfulness note 11).
-        send_reject(msg.from, msg.serial, q);
+        send_reject(msg.from, msg.serial, msg.wave, q);
       } else {
         // An older update request proceeds even against our search; the
         // grant enters our interfered set so our selection avoids q.
-        send_grant(msg.from, msg.serial, q);
+        send_grant(msg.from, msg.serial, msg.wave, q);
         check_mode();
       }
       break;
@@ -413,8 +468,20 @@ void AdaptiveNode::handle_acquisition(const net::Message& msg) {
   }
   if (msg.acq_type == net::AcqType::kSearch) {
     const auto it = awaiting_.find(msg.from);
-    assert(it != awaiting_.end() && "announcement from a searcher we never answered");
-    if (it != awaiting_.end()) awaiting_.erase(it);
+    if (it != awaiting_.end()) {
+      awaiting_.erase(it);
+    } else {
+      // Announcement from a searcher we never answered: only reachable
+      // when it timeout-aborted while its request sat in our DeferQ.
+      // Drop the stale entry — answering now would insert the searcher
+      // into awaiting_ with no further announcement ever coming.
+      for (auto d = defer_.begin(); d != defer_.end();) {
+        d = (d->type == net::ReqType::kSearch && d->from == msg.from &&
+             d->serial == msg.serial)
+                ? defer_.erase(d)
+                : std::next(d);
+      }
+    }
     resume_if_quiet();
   }
 }
@@ -452,8 +519,9 @@ void AdaptiveNode::handle_response(const net::Message& msg) {
     case net::ResType::kGrant:
     case net::ResType::kReject:
       if (!req_.has_value() || req_->phase != Phase::kUpdateRound ||
-          msg.serial != req_->serial || msg.channel != req_->channel) {
-        return;  // response to an attempt we already abandoned
+          msg.serial != req_->serial || msg.channel != req_->channel ||
+          msg.wave != static_cast<std::uint64_t>(req_->rounds)) {
+        return;  // response to an attempt (or round) we already abandoned
       }
       ++req_->responses;
       if (msg.res_type == net::ResType::kGrant) {
@@ -608,7 +676,8 @@ void AdaptiveNode::maybe_repack() {
 // Helpers and dispatch
 // ---------------------------------------------------------------------------
 
-void AdaptiveNode::send_grant(CellId to, std::uint64_t serial, ChannelId r) {
+void AdaptiveNode::send_grant(CellId to, std::uint64_t serial, std::uint64_t wave,
+                              ChannelId r) {
   // The paper updates both I_i and U_j at grant time; the grant is also
   // remembered as pending so a later status snapshot cannot erase it while
   // the borrower's confirmation is in flight.
@@ -618,17 +687,20 @@ void AdaptiveNode::send_grant(CellId to, std::uint64_t serial, ChannelId r) {
   resp.kind = net::MsgKind::kResponse;
   resp.res_type = net::ResType::kGrant;
   resp.serial = serial;
+  resp.wave = wave;
   resp.channel = r;
   resp.from = id();
   resp.to = to;
   env().send(resp);
 }
 
-void AdaptiveNode::send_reject(CellId to, std::uint64_t serial, ChannelId r) {
+void AdaptiveNode::send_reject(CellId to, std::uint64_t serial, std::uint64_t wave,
+                               ChannelId r) {
   net::Message resp;
   resp.kind = net::MsgKind::kResponse;
   resp.res_type = net::ResType::kReject;
   resp.serial = serial;
+  resp.wave = wave;
   resp.channel = r;
   resp.from = id();
   resp.to = to;

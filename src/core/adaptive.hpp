@@ -145,6 +145,7 @@ class AdaptiveNode final : public proto::AllocatorNode {
     net::Timestamp ts;
     cell::CellId from = cell::kNoCell;
     std::uint64_t serial = 0;
+    std::uint64_t wave = 0;  // requester's round tag, echoed in the answer
   };
 
   // -- Fig. 2: the request state machine --------------------------------
@@ -153,6 +154,7 @@ class AdaptiveNode final : public proto::AllocatorNode {
   void begin_search_round();
   void conclude_update_round();
   void conclude_search_round(cell::ChannelId r);
+  void on_phase_timeout();
 
   // -- Fig. 3: acquire() + request completion ----------------------------
   void finish_request(cell::ChannelId r, int prev_mode, proto::Outcome how);
@@ -180,8 +182,10 @@ class AdaptiveNode final : public proto::AllocatorNode {
   void maybe_repack();
 
   // -- helpers ------------------------------------------------------------
-  void send_grant(cell::CellId to, std::uint64_t serial, cell::ChannelId r);
-  void send_reject(cell::CellId to, std::uint64_t serial, cell::ChannelId r);
+  void send_grant(cell::CellId to, std::uint64_t serial, std::uint64_t wave,
+                  cell::ChannelId r);
+  void send_reject(cell::CellId to, std::uint64_t serial, std::uint64_t wave,
+                   cell::ChannelId r);
   void send_use_reply(cell::CellId to, std::uint64_t serial, net::ResType type);
   void drain_deferq();
   void resume_if_quiet();

@@ -90,6 +90,10 @@ Aggregate Collector::aggregate(sim::Duration T, sim::SimTime warmup) const {
         ++a.starved;
         if (r.is_handoff) ++a.handoff_failures;
         continue;
+      case proto::Outcome::kBlockedTimeout:
+        ++a.timed_out;
+        if (r.is_handoff) ++a.handoff_failures;
+        continue;
     }
     ++a.acquired;
     sum_borrowing += r.borrowing_neighbors;

@@ -58,6 +58,7 @@ struct Aggregate {
   std::uint64_t acquired = 0;
   std::uint64_t blocked = 0;       // no channel available
   std::uint64_t starved = 0;       // update retry cap exhausted
+  std::uint64_t timed_out = 0;     // protocol round aborted by timeout
   std::uint64_t handoff_offered = 0;   // requests that were handoffs
   std::uint64_t handoff_failures = 0;  // ... of which failed (forced term.)
 
@@ -73,9 +74,9 @@ struct Aggregate {
   Summary messages_acquired;  // ... among acquired only
 
   [[nodiscard]] double drop_rate() const noexcept {
-    return offered == 0
-               ? 0.0
-               : static_cast<double>(blocked + starved) / static_cast<double>(offered);
+    return offered == 0 ? 0.0
+                        : static_cast<double>(blocked + starved + timed_out) /
+                              static_cast<double>(offered);
   }
 };
 

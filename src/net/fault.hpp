@@ -1,0 +1,68 @@
+// Deterministic fault-injection model for the MSS control network.
+//
+// Four fault classes, all driven by RngStreams derived from (seed, link)
+// so a fault schedule is a pure function of the scenario seed — replays
+// are bit-identical and independent of host thread count:
+//
+//   * drop_prob   — each frame is lost with this probability
+//   * dup_prob    — each delivered frame is delivered twice
+//   * jitter      — extra uniform [0, jitter] delay per frame, widening
+//                   the physical reorder window beyond the latency model
+//   * pauses      — whole-MSS stalls (Poisson arrivals, exponential
+//                   lengths) during which the allocator process sees no
+//                   messages; the NIC stays alive, so transport ACKs
+//                   still flow and delivery resumes in order
+//
+// When any link fault is active the Network runs a reliable-transport
+// sublayer (per-link sequence numbers, cumulative ACKs, retransmission
+// with backoff, receive-side resequencing) so the protocols keep their
+// required per-link FIFO, exactly-once delivery — but with unbounded,
+// fault-dependent latencies that exercise every timeout path. With the
+// config all-zero the fault machinery is bypassed entirely and the
+// network behaves bit-identically to the fault-free build.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace dca::net {
+
+struct FaultConfig {
+  /// Probability a frame (data or ack) is silently dropped in flight.
+  double drop_prob = 0.0;
+  /// Probability a frame that survives is delivered a second time.
+  double dup_prob = 0.0;
+  /// Extra per-frame delay, uniform in [0, jitter] (microseconds).
+  sim::Duration jitter = 0;
+  /// Whole-MSS pause events per minute per cell (Poisson rate).
+  double pause_rate_per_min = 0.0;
+  /// Mean pause length in seconds (exponential).
+  double pause_mean_s = 0.0;
+
+  /// Any per-frame fault active (engages the reliable transport).
+  [[nodiscard]] bool link_faults() const noexcept {
+    return drop_prob > 0.0 || dup_prob > 0.0 || jitter > 0;
+  }
+  /// Pause/resume timeline active.
+  [[nodiscard]] bool pauses() const noexcept {
+    return pause_rate_per_min > 0.0 && pause_mean_s > 0.0;
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return link_faults() || pauses();
+  }
+};
+
+/// Transport-layer frame counters (kept apart from the protocol message
+/// counters: the paper's message-complexity metric must not change when a
+/// lossy link forces retransmissions).
+struct TransportStats {
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_duplicated = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t acks_sent = 0;
+
+  friend bool operator==(const TransportStats&, const TransportStats&) = default;
+};
+
+}  // namespace dca::net

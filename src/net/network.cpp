@@ -5,6 +5,19 @@
 
 namespace dca::net {
 
+void Network::enable_faults(const FaultConfig& cfg, std::uint64_t seed) {
+  assert(total_ == 0 && "enable_faults must precede the first send");
+  fault_ = cfg;
+  fault_seed_ = seed;
+  transport_ = cfg.link_faults();
+  // Retransmission timeout: a frame plus its ack each take at most one
+  // latency bound plus the injected jitter; the extra millisecond absorbs
+  // the FIFO floor. Deliberately generous — a premature retransmission is
+  // only wasted bandwidth, but the timeout must not fire on a healthy
+  // round trip.
+  rto_base_ = 2 * (latency_->max_one_way() + cfg.jitter) + sim::milliseconds(1);
+}
+
 void Network::send(Message msg) {
   assert(msg.from != cell::kNoCell && msg.to != cell::kNoCell);
   assert(msg.from != msg.to && "nodes do not message themselves");
@@ -16,6 +29,10 @@ void Network::send(Message msg) {
                  sim::format_line("net: ", msg.from, " -> ", msg.to, " ",
                                   msg.kind_name(), " ch=", msg.channel));
   }
+  if (transport_) {
+    transport_send(std::move(msg));
+    return;
+  }
   const sim::Duration d = latency_->delay(msg.from, msg.to);
   // FIFO per directed link: never deliver before an earlier send on the
   // same link (ties break by scheduling order, which is send order).
@@ -24,8 +41,181 @@ void Network::send(Message msg) {
   if (when < floor_time) when = floor_time;
   floor_time = when;
   sim_.schedule_at(when, [this, m = std::move(msg)]() {
-    if (deliver_) deliver_(m);
+    deliver_to_node(m);
   });
+}
+
+// -- reliable transport over the lossy link ------------------------------
+
+void Network::transport_send(Message msg) {
+  const LinkKey link{msg.from, msg.to};
+  LinkTx& tx = tx_[link];
+  const std::uint64_t seq = tx.next_seq++;
+  tx.pending.emplace(seq, PendingFrame{std::move(msg)});
+  transmit(link, seq);
+  arm_rto(link, seq);
+}
+
+sim::RngStream& Network::link_rng(const LinkKey& link) {
+  auto it = fault_rng_.find(link);
+  if (it == fault_rng_.end()) {
+    const std::uint64_t label =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(link.first))
+         << 32) |
+        static_cast<std::uint32_t>(link.second);
+    it = fault_rng_
+             .emplace(link, sim::RngStream::derive(fault_seed_ ^ 0xFA017ull,
+                                                   label))
+             .first;
+  }
+  return it->second;
+}
+
+void Network::record(sim::TraceKind k, const LinkKey& link, std::uint64_t seq,
+                     std::int64_t b) {
+  if (!recorder_) return;
+  sim::TraceEvent e;
+  e.kind = k;
+  e.t = sim_.now();
+  e.cell = static_cast<std::int32_t>(link.first);
+  e.peer = static_cast<std::int32_t>(link.second);
+  e.a = static_cast<std::int64_t>(seq);
+  e.b = b;
+  recorder_->emit(e);
+}
+
+sim::Duration Network::rto(int attempts) const {
+  // Exponential backoff, capped so the shift cannot overflow and a long
+  // outage retries at a bounded cadence.
+  const int shift = attempts < 6 ? attempts : 6;
+  return rto_base_ << shift;
+}
+
+void Network::arm_rto(const LinkKey& link, std::uint64_t seq) {
+  PendingFrame& f = tx_[link].pending.at(seq);
+  f.timer = sim_.schedule_in(rto(f.attempts),
+                             [this, link, seq]() { on_rto(link, seq); });
+}
+
+void Network::on_rto(const LinkKey& link, std::uint64_t seq) {
+  LinkTx& tx = tx_[link];
+  auto it = tx.pending.find(seq);
+  if (it == tx.pending.end()) return;  // acked in the meantime
+  it->second.timer = sim::kInvalidEventId;
+  ++it->second.attempts;
+  ++tstats_.retransmissions;
+  record(sim::TraceKind::kRetransmit, link, seq, it->second.attempts);
+  transmit(link, seq);
+  arm_rto(link, seq);
+}
+
+void Network::transmit(const LinkKey& link, std::uint64_t seq) {
+  sim::RngStream& rng = link_rng(link);
+  if (fault_.drop_prob > 0 && rng.bernoulli(fault_.drop_prob)) {
+    ++tstats_.frames_dropped;
+    record(sim::TraceKind::kDrop, link, seq);
+    return;  // lost in flight; the RTO will resend it
+  }
+  const Message& msg = tx_[link].pending.at(seq).msg;
+  int copies = 1;
+  if (fault_.dup_prob > 0 && rng.bernoulli(fault_.dup_prob)) {
+    ++tstats_.frames_duplicated;
+    record(sim::TraceKind::kDup, link, seq);
+    copies = 2;
+  }
+  for (int i = 0; i < copies; ++i) {
+    sim::Duration d = latency_->delay(link.first, link.second);
+    if (d < 0) d = 0;
+    if (fault_.jitter > 0) d += rng.uniform_int(0, fault_.jitter);
+    // No FIFO floor here: frame-level reordering is the injected fault.
+    // The receive side resequences, so the protocol still sees FIFO.
+    sim_.schedule_in(d, [this, link, seq, m = msg]() {
+      on_data_frame(link, seq, m);
+    });
+  }
+}
+
+void Network::on_data_frame(const LinkKey& link, std::uint64_t seq,
+                            const Message& msg) {
+  LinkRx& rx = rx_[link];
+  if (seq >= rx.next_expected) {
+    rx.reorder.emplace(seq, msg);  // no-op if this seq is already buffered
+    while (true) {
+      auto it = rx.reorder.find(rx.next_expected);
+      if (it == rx.reorder.end()) break;
+      const Message m = std::move(it->second);
+      rx.reorder.erase(it);
+      ++rx.next_expected;
+      deliver_to_node(m);
+    }
+  }
+  // Cumulative ack, also for stale duplicates (their original ack may
+  // have been the casualty).
+  send_ack(link, rx.next_expected - 1);
+}
+
+void Network::send_ack(const LinkKey& data_link, std::uint64_t cumulative) {
+  ++tstats_.acks_sent;
+  // The ack travels the reverse direction and faces the same lossy link.
+  const LinkKey back{data_link.second, data_link.first};
+  sim::RngStream& rng = link_rng(back);
+  if (fault_.drop_prob > 0 && rng.bernoulli(fault_.drop_prob)) {
+    ++tstats_.frames_dropped;
+    record(sim::TraceKind::kDrop, back, cumulative);
+    return;
+  }
+  sim::Duration d = latency_->delay(back.first, back.second);
+  if (d < 0) d = 0;
+  if (fault_.jitter > 0) d += rng.uniform_int(0, fault_.jitter);
+  sim_.schedule_in(d, [this, data_link, cumulative]() {
+    LinkTx& tx = tx_[data_link];
+    auto it = tx.pending.begin();
+    while (it != tx.pending.end() && it->first <= cumulative) {
+      if (it->second.timer != sim::kInvalidEventId) {
+        sim_.cancel(it->second.timer);
+      }
+      it = tx.pending.erase(it);
+    }
+  });
+}
+
+// -- pause / resume ------------------------------------------------------
+
+void Network::pause(cell::CellId c) {
+  if (!paused_.insert(c).second) return;
+  if (recorder_) {
+    sim::TraceEvent e;
+    e.kind = sim::TraceKind::kPause;
+    e.t = sim_.now();
+    e.cell = static_cast<std::int32_t>(c);
+    recorder_->emit(e);
+  }
+}
+
+void Network::resume(cell::CellId c) {
+  if (paused_.erase(c) == 0) return;
+  if (recorder_) {
+    sim::TraceEvent e;
+    e.kind = sim::TraceKind::kResume;
+    e.t = sim_.now();
+    e.cell = static_cast<std::int32_t>(c);
+    recorder_->emit(e);
+  }
+  auto it = held_.find(c);
+  if (it == held_.end()) return;
+  std::vector<Message> backlog = std::move(it->second);
+  held_.erase(it);
+  for (const Message& m : backlog) {
+    if (deliver_) deliver_(m);
+  }
+}
+
+void Network::deliver_to_node(const Message& msg) {
+  if (!paused_.empty() && paused_.count(msg.to) != 0) {
+    held_[msg.to].push_back(msg);
+    return;
+  }
+  if (deliver_) deliver_(msg);
 }
 
 }  // namespace dca::net

@@ -16,6 +16,17 @@
 // snapshot can arrive after a later ACQUISITION and erase knowledge of a
 // borrowed channel (a real interference scenario our fuzz suite found).
 // Messages on DIFFERENT links still race freely under jitter.
+//
+// Fault injection (enable_faults) keeps both guarantees by running a
+// reliable-transport sublayer underneath the lossy link: every logical
+// message becomes a sequenced frame, frames are dropped / duplicated /
+// re-jittered per FaultConfig, and the receive side resequences and
+// dedups before handing messages up. The protocol layer therefore still
+// sees exactly-once, per-link-FIFO delivery — only *later*, and by
+// unbounded amounts, which is what its timeout paths must survive.
+// Transport frames (retransmissions, acks) are NOT counted in the
+// protocol message counters. With faults disabled none of this code is
+// on the send path and behavior is bit-identical to the plain network.
 #pragma once
 
 #include <array>
@@ -23,12 +34,17 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <utility>
+#include <vector>
 
+#include "net/fault.hpp"
 #include "net/latency.hpp"
 #include "net/message.hpp"
 #include "sim/log.hpp"
+#include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 
 namespace dca::net {
 
@@ -52,9 +68,33 @@ class Network {
   /// Optional trace log; pass nullptr to disable.
   void set_trace(sim::TraceLog* log) { trace_ = log; }
 
+  /// Optional structured event recorder (drop/dup/retransmit/pause).
+  void set_recorder(sim::TraceRecorder* rec) { recorder_ = rec; }
+
+  /// Turns on fault injection. Must be called before the first send();
+  /// the per-link fault streams are derived from `seed`, so the complete
+  /// fault schedule is a function of (config, seed) alone.
+  void enable_faults(const FaultConfig& cfg, std::uint64_t seed);
+
+  [[nodiscard]] const FaultConfig& fault_config() const noexcept {
+    return fault_;
+  }
+
   /// Sends one control message; counted immediately, delivered after the
-  /// model's one-way delay.
+  /// model's one-way delay (plus whatever the fault layer inflicts).
   void send(Message msg);
+
+  // -- whole-MSS pause/resume -------------------------------------------
+  // A paused station's allocator process receives nothing; inbound
+  // messages queue (in link order) and flush on resume. The station can
+  // still *send* (its outbound path is not severed) and its transport
+  // keeps acking, modelling a stalled process on a live host.
+
+  void pause(cell::CellId c);
+  void resume(cell::CellId c);
+  [[nodiscard]] bool is_paused(cell::CellId c) const {
+    return paused_.count(c) != 0;
+  }
 
   /// The latency bound T the paper's formulas are expressed in.
   [[nodiscard]] sim::Duration max_one_way_latency() const {
@@ -72,17 +112,68 @@ class Network {
     by_kind_.fill(0);
   }
 
+  [[nodiscard]] const TransportStats& transport_stats() const noexcept {
+    return tstats_;
+  }
+
  private:
+  using LinkKey = std::pair<cell::CellId, cell::CellId>;
+
+  struct PendingFrame {
+    Message msg;
+    sim::EventId timer = sim::kInvalidEventId;
+    int attempts = 0;
+  };
+  struct LinkTx {
+    std::uint64_t next_seq = 1;
+    std::map<std::uint64_t, PendingFrame> pending;
+  };
+  struct LinkRx {
+    std::uint64_t next_expected = 1;
+    std::map<std::uint64_t, Message> reorder;
+  };
+
+  // Reliable-transport internals (active only under link faults).
+  void transport_send(Message msg);
+  void transmit(const LinkKey& link, std::uint64_t seq);
+  void on_rto(const LinkKey& link, std::uint64_t seq);
+  void on_data_frame(const LinkKey& link, std::uint64_t seq,
+                     const Message& msg);
+  void send_ack(const LinkKey& data_link, std::uint64_t cumulative);
+  void arm_rto(const LinkKey& link, std::uint64_t seq);
+  [[nodiscard]] sim::Duration rto(int attempts) const;
+
+  /// Hands a fully-reassembled message to the node, or parks it if the
+  /// destination MSS is paused.
+  void deliver_to_node(const Message& msg);
+
+  sim::RngStream& link_rng(const LinkKey& link);
+  void record(sim::TraceKind k, const LinkKey& link, std::uint64_t seq,
+              std::int64_t b = 0);
+
   sim::Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   DeliverFn deliver_;
   ObserveFn observe_;
   sim::TraceLog* trace_ = nullptr;
+  sim::TraceRecorder* recorder_ = nullptr;
 
   std::uint64_t total_ = 0;
   std::array<std::uint64_t, kNumMsgKinds> by_kind_{};
   // Last scheduled delivery per directed link (FIFO floor).
-  std::map<std::pair<cell::CellId, cell::CellId>, sim::SimTime> link_clock_;
+  std::map<LinkKey, sim::SimTime> link_clock_;
+
+  // Fault layer.
+  FaultConfig fault_;
+  std::uint64_t fault_seed_ = 0;
+  bool transport_ = false;  // per-frame faults on -> reliable transport
+  sim::Duration rto_base_ = 0;
+  TransportStats tstats_;
+  std::map<LinkKey, LinkTx> tx_;
+  std::map<LinkKey, LinkRx> rx_;
+  std::map<LinkKey, sim::RngStream> fault_rng_;
+  std::set<cell::CellId> paused_;
+  std::map<cell::CellId, std::vector<Message>> held_;
 };
 
 }  // namespace dca::net

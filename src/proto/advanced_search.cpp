@@ -1,6 +1,7 @@
 #include "proto/advanced_search.hpp"
 
 #include <cassert>
+#include <iterator>
 
 namespace dca::proto {
 
@@ -43,6 +44,8 @@ void AdvancedSearchNode::start_request(std::uint64_t serial) {
   s.serial = serial;
   s.ts = clock_.tick();
   search_ = s;
+  trace_search_start(serial, s.ts);
+  arm_timer(resilience().request_timeout, [this]() { abort_search(); });
 
   net::Message req;
   req.kind = net::MsgKind::kRequest;
@@ -125,6 +128,13 @@ void AdvancedSearchNode::handle_acquisition(const net::Message& msg) {
     known_busy_[static_cast<std::size_t>(msg.from)].insert(msg.channel);
   }
   await_decision_.erase(msg.from);
+  // The announcer's search is over; drop any reply we still owe it (only
+  // reachable when the announcer aborted on timeout). Answering later
+  // would re-insert it into await_decision_ with no announcement coming.
+  for (auto it = defer_.begin(); it != defer_.end();) {
+    it = (it->from == msg.from && it->serial == msg.serial) ? defer_.erase(it)
+                                                            : std::next(it);
+  }
   maybe_select();
 }
 
@@ -280,17 +290,24 @@ void AdvancedSearchNode::handle_transfer(const net::Message& msg) {
     }
     case net::TransferOp::kAbort: {
       const cell::ChannelId r = msg.channel;
-      if (offered_.contains(r)) {
+      // Only the requester the reservation was made FOR may clear it: a
+      // timed-out searcher aborts to every owner it asked, including ones
+      // that denied it because r was already reserved for someone else.
+      const auto it = offered_to_.find(r);
+      if (offered_.contains(r) && it != offered_to_.end() &&
+          it->second == msg.from) {
         offered_.erase(r);
-        offered_to_.erase(r);
+        offered_to_.erase(it);
       }
       break;
     }
   }
 }
 
-void AdvancedSearchNode::finish_with(cell::ChannelId r, Outcome how) {
+void AdvancedSearchNode::finish_with(cell::ChannelId r, Outcome how,
+                                     bool timed_out) {
   assert(search_.has_value());
+  disarm_timer();
   const Search s = *search_;
   search_.reset();
 
@@ -309,11 +326,31 @@ void AdvancedSearchNode::finish_with(cell::ChannelId r, Outcome how) {
     reply_sets(d.from, d.serial);
   }
 
+  trace_search_decide(s.serial, r, r != cell::kNoChannel, timed_out);
   if (r != cell::kNoChannel) {
     complete_acquired(s.serial, r, how, s.rounds);
   } else {
     complete_blocked(s.serial, how, s.rounds);
   }
+}
+
+void AdvancedSearchNode::abort_search() {
+  // Overall request timer expired — mid-search or mid-negotiation. Undo
+  // any reservations we may hold at owners (kAbort is safe to broadcast
+  // to every asked owner: the handler checks the reservation is ours),
+  // then conclude as a failed, timeout-aborted search. finish_with
+  // announces the failed decision so deferred/waiting peers unblock.
+  assert(search_.has_value());
+  trace_timeout(search_->serial, search_->rounds);
+  if (search_->pending_channel != cell::kNoChannel) {
+    for (const cell::CellId owner : search_->pending_owners) {
+      send_transfer(owner, search_->serial, search_->pending_channel,
+                    net::TransferOp::kAbort);
+    }
+    search_->pending_channel = cell::kNoChannel;
+    search_->pending_owners.clear();
+  }
+  finish_with(cell::kNoChannel, Outcome::kBlockedTimeout, true);
 }
 
 void AdvancedSearchNode::send_transfer(cell::CellId to, std::uint64_t serial,

@@ -106,7 +106,8 @@ class AdvancedSearchNode final : public AllocatorNode {
   void maybe_select();
   void select_or_transfer();
   void try_next_transfer();
-  void finish_with(cell::ChannelId r, Outcome how);
+  void finish_with(cell::ChannelId r, Outcome how, bool timed_out = false);
+  void abort_search();
   void send_transfer(cell::CellId to, std::uint64_t serial, cell::ChannelId r,
                      net::TransferOp op);
 

@@ -105,8 +105,10 @@ void AdvancedUpdateNode::try_attempt(std::uint64_t serial, int round) {
   a.ts = clock_.tick();
   a.expected = static_cast<int>(targets.size());
   a.round = round;
+  a.targets.assign(targets.begin(), targets.end());
   attempt_ = a;
   granters_.clear();
+  arm_timer(resilience().request_timeout, [this]() { abort_attempt(); });
 
   net::Message req;
   req.kind = net::MsgKind::kRequest;
@@ -114,8 +116,11 @@ void AdvancedUpdateNode::try_attempt(std::uint64_t serial, int round) {
   req.serial = serial;
   req.channel = r;
   req.ts = attempt_->ts;
+  // Round tag, echoed by responses, so stragglers from a timed-out round
+  // cannot be miscounted into the current one.
+  req.wave = static_cast<std::uint64_t>(round);
   req.from = id();
-  for (const cell::CellId p : targets) {
+  for (const cell::CellId p : attempt_->targets) {
     req.to = p;
     env().send(req);
   }
@@ -165,28 +170,30 @@ void AdvancedUpdateNode::handle_request(const net::Message& msg) {
   assert(plan().is_primary(id(), r) && "borrow requests only reach primaries");
 
   if (!believed_free(r)) {
-    send_response(msg.from, msg.serial, r, net::ResType::kReject);
+    send_response(msg.from, msg.serial, msg.wave, r, net::ResType::kReject);
     return;
   }
   if (const auto it = promises_.find(r); it != promises_.end()) {
     // Already promised away. An older request has priority on paper, but
     // the promise stands: answer conditionally (the Fig. 11 flaw).
     const bool requester_is_older = msg.ts < it->second.ts;
-    send_response(msg.from, msg.serial, r,
+    send_response(msg.from, msg.serial, msg.wave, r,
                   requester_is_older ? net::ResType::kConditionalGrant
                                      : net::ResType::kReject);
     return;
   }
   promises_[r] = Promise{msg.from, msg.ts};
-  send_response(msg.from, msg.serial, r, net::ResType::kGrant);
+  send_response(msg.from, msg.serial, msg.wave, r, net::ResType::kGrant);
 }
 
 void AdvancedUpdateNode::send_response(cell::CellId to, std::uint64_t serial,
-                                       cell::ChannelId r, net::ResType type) {
+                                       std::uint64_t wave, cell::ChannelId r,
+                                       net::ResType type) {
   net::Message resp;
   resp.kind = net::MsgKind::kResponse;
   resp.res_type = type;
   resp.serial = serial;
+  resp.wave = wave;
   resp.channel = r;
   resp.from = id();
   resp.to = to;
@@ -195,6 +202,7 @@ void AdvancedUpdateNode::send_response(cell::CellId to, std::uint64_t serial,
 
 void AdvancedUpdateNode::handle_response(const net::Message& msg) {
   if (!attempt_.has_value() || msg.serial != attempt_->serial) return;
+  if (msg.wave != static_cast<std::uint64_t>(attempt_->round)) return;
   ++attempt_->responses;
   switch (msg.res_type) {
     case net::ResType::kGrant:
@@ -212,6 +220,7 @@ void AdvancedUpdateNode::handle_response(const net::Message& msg) {
 
 void AdvancedUpdateNode::conclude_attempt() {
   assert(attempt_.has_value());
+  disarm_timer();
   const Attempt a = *attempt_;
   attempt_.reset();
 
@@ -242,6 +251,34 @@ void AdvancedUpdateNode::conclude_attempt() {
 
   if (a.round >= max_attempts_) {
     complete_blocked(a.serial, Outcome::kBlockedStarved, a.round);
+    return;
+  }
+  try_attempt(a.serial, a.round + 1);
+}
+
+void AdvancedUpdateNode::abort_attempt() {
+  // Request timer expired with arbiter responses outstanding. Release the
+  // channel at every arbiter we asked — a grant (and thus a promise) may
+  // still be in flight, and per-link FIFO guarantees the REQUEST precedes
+  // this RELEASE, so every promise gets cleaned up.
+  assert(attempt_.has_value());
+  const Attempt a = *attempt_;
+  attempt_.reset();
+  granters_.clear();
+  trace_timeout(a.serial, a.round);
+
+  net::Message rel;
+  rel.kind = net::MsgKind::kRelease;
+  rel.serial = a.serial;
+  rel.channel = a.channel;
+  rel.from = id();
+  for (const cell::CellId p : a.targets) {
+    rel.to = p;
+    env().send(rel);
+  }
+
+  if (a.round >= max_attempts_) {
+    complete_blocked(a.serial, Outcome::kBlockedTimeout, a.round);
     return;
   }
   try_attempt(a.serial, a.round + 1);

@@ -73,6 +73,7 @@ class AdvancedUpdateNode final : public AllocatorNode {
     bool rejected = false;
     bool conditional = false;  // saw a conditional grant
     int round = 1;
+    std::vector<cell::CellId> targets;  // NP(c, r), kept for abort cleanup
   };
   /// An outstanding promise of one of our primary channels.
   struct Promise {
@@ -85,8 +86,9 @@ class AdvancedUpdateNode final : public AllocatorNode {
   void handle_request(const net::Message& msg);
   void handle_response(const net::Message& msg);
   void conclude_attempt();
-  void send_response(cell::CellId to, std::uint64_t serial, cell::ChannelId r,
-                     net::ResType type);
+  void abort_attempt();
+  void send_response(cell::CellId to, std::uint64_t serial, std::uint64_t wave,
+                     cell::ChannelId r, net::ResType type);
   /// True if channel r is believed free in our whole interference region.
   [[nodiscard]] bool believed_free(cell::ChannelId r) const;
 

@@ -11,6 +11,7 @@ std::string outcome_name(Outcome o) {
     case Outcome::kAcquiredSearch: return "acquired-search";
     case Outcome::kBlockedNoChannel: return "blocked-no-channel";
     case Outcome::kBlockedStarved: return "blocked-starved";
+    case Outcome::kBlockedTimeout: return "blocked-timeout";
   }
   return "?";
 }
@@ -21,7 +22,8 @@ AllocatorNode::AllocatorNode(const NodeContext& ctx)
       id_(ctx.id),
       grid_(ctx.grid),
       plan_(ctx.plan),
-      env_(ctx.env) {
+      env_(ctx.env),
+      resilience_(ctx.resilience) {
   assert(grid_ != nullptr && plan_ != nullptr && env_ != nullptr);
   assert(grid_->valid(id_));
 }
@@ -74,6 +76,61 @@ void AllocatorNode::send_to_interference(net::Message msg) {
     msg.to = j;
     env_->send(msg);
   }
+}
+
+void AllocatorNode::arm_timer(sim::Duration delay, std::function<void()> fn) {
+  if (!resilience_.enabled()) return;
+  disarm_timer();
+  const std::uint64_t gen = timer_gen_;
+  timer_ = env_->schedule_in(delay, [this, gen, f = std::move(fn)]() {
+    if (gen != timer_gen_) return;  // superseded or disarmed meanwhile
+    timer_ = sim::kInvalidEventId;
+    ++timer_gen_;
+    f();
+  });
+}
+
+void AllocatorNode::disarm_timer() {
+  ++timer_gen_;  // invalidates any in-flight firing
+  if (timer_ == sim::kInvalidEventId) return;
+  env_->cancel_scheduled(timer_);
+  timer_ = sim::kInvalidEventId;
+}
+
+void AllocatorNode::trace_search_start(std::uint64_t serial,
+                                       const net::Timestamp& ts) {
+  sim::TraceEvent e;
+  e.kind = sim::TraceKind::kSearchStart;
+  e.t = env_->now();
+  e.cell = static_cast<std::int32_t>(id_);
+  e.serial = serial;
+  e.a = static_cast<std::int64_t>(ts.count);
+  e.b = static_cast<std::int64_t>(ts.node);
+  env_->record(e);
+}
+
+void AllocatorNode::trace_search_decide(std::uint64_t serial,
+                                        cell::ChannelId ch, bool success,
+                                        bool timed_out) {
+  sim::TraceEvent e;
+  e.kind = sim::TraceKind::kSearchDecide;
+  e.t = env_->now();
+  e.cell = static_cast<std::int32_t>(id_);
+  e.channel = static_cast<std::int32_t>(ch);
+  e.serial = serial;
+  e.a = success ? 1 : 0;
+  e.b = timed_out ? 1 : 0;
+  env_->record(e);
+}
+
+void AllocatorNode::trace_timeout(std::uint64_t serial, int phase_tag) {
+  sim::TraceEvent e;
+  e.kind = sim::TraceKind::kTimeout;
+  e.t = env_->now();
+  e.cell = static_cast<std::int32_t>(id_);
+  e.serial = serial;
+  e.a = phase_tag;
+  env_->record(e);
 }
 
 }  // namespace dca::proto

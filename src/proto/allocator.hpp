@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <span>
 #include <string>
 
@@ -29,7 +30,9 @@
 #include "cell/spectrum.hpp"
 #include "net/message.hpp"
 #include "net/timestamp.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/random.hpp"
+#include "sim/trace.hpp"
 #include "sim/types.hpp"
 
 namespace dca::proto {
@@ -41,6 +44,7 @@ enum class Outcome : std::uint8_t {
   kAcquiredSearch = 2,  // obtained via a search-style exhaustive query
   kBlockedNoChannel = 3,  // no interference-free channel existed
   kBlockedStarved = 4,    // update-scheme retry cap exhausted (starvation)
+  kBlockedTimeout = 5,    // a protocol round timed out (lossy/stalled peers)
 };
 
 [[nodiscard]] inline bool is_acquired(Outcome o) noexcept {
@@ -85,6 +89,36 @@ class NodeEnv {
 
   /// Per-node RNG substream (used for randomized channel picks).
   virtual sim::RngStream& rng(cell::CellId cellId) = 0;
+
+  // -- optional services (default no-ops keep lightweight test envs valid)
+
+  /// Schedules `fn` after `delay` simulated microseconds (protocol
+  /// timers). Environments without a scheduler may keep the default,
+  /// which silently drops the request — the generation counter in
+  /// AllocatorNode::arm_timer keeps that safe.
+  virtual sim::EventId schedule_in(sim::Duration delay,
+                                   std::function<void()> fn) {
+    (void)delay;
+    (void)fn;
+    return sim::kInvalidEventId;
+  }
+
+  /// Cancels a timer returned by schedule_in (no-op by default).
+  virtual void cancel_scheduled(sim::EventId id) { (void)id; }
+
+  /// Structured conformance-trace sink. Default: discard.
+  virtual void record(const sim::TraceEvent& ev) { (void)ev; }
+};
+
+/// Fault-tolerance knobs shared by all schemes. The all-zero default
+/// disables every timer, which preserves the fault-free message
+/// trajectories bit for bit.
+struct Resilience {
+  /// How long a node waits on the replies of one protocol round before
+  /// aborting the round. 0 = wait forever (safe only on lossless links).
+  sim::Duration request_timeout = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return request_timeout > 0; }
 };
 
 /// Immutable wiring shared by all nodes of a world.
@@ -93,6 +127,7 @@ struct NodeContext {
   const cell::HexGrid* grid = nullptr;
   const cell::ReusePlan* plan = nullptr;
   NodeEnv* env = nullptr;
+  Resilience resilience;
 };
 
 class AllocatorNode {
@@ -165,6 +200,29 @@ class AllocatorNode {
   /// Sends `msg` (with from/to filled in) to every cell in IN_i.
   void send_to_interference(net::Message msg);
 
+  // -- protocol timer (fault hardening) ------------------------------------
+
+  [[nodiscard]] const Resilience& resilience() const noexcept {
+    return resilience_;
+  }
+  [[nodiscard]] bool timeouts_enabled() const noexcept {
+    return resilience_.enabled();
+  }
+
+  /// Arms the node's single protocol timer, replacing any armed one. The
+  /// callback runs only if this arming is still the latest when it fires
+  /// (a generation counter absorbs lazily-cancelled events and
+  /// environments that cannot cancel). No-op when timeouts are disabled.
+  void arm_timer(sim::Duration delay, std::function<void()> fn);
+  void disarm_timer();
+
+  // -- conformance trace emission ------------------------------------------
+
+  void trace_search_start(std::uint64_t serial, const net::Timestamp& ts);
+  void trace_search_decide(std::uint64_t serial, cell::ChannelId ch,
+                           bool success, bool timed_out);
+  void trace_timeout(std::uint64_t serial, int phase_tag);
+
   cell::ChannelSet use_;        // Use_i
   net::LamportClock clock_;     // request timestamping
 
@@ -175,8 +233,11 @@ class AllocatorNode {
   const cell::HexGrid* grid_;
   const cell::ReusePlan* plan_;
   NodeEnv* env_;
+  Resilience resilience_;
   bool busy_ = false;
   std::deque<std::uint64_t> queue_;
+  sim::EventId timer_ = sim::kInvalidEventId;
+  std::uint64_t timer_gen_ = 0;
 };
 
 }  // namespace dca::proto

@@ -1,6 +1,7 @@
 #include "proto/basic_search.hpp"
 
 #include <cassert>
+#include <iterator>
 
 namespace dca::proto {
 
@@ -11,6 +12,9 @@ void BasicSearchNode::start_request(std::uint64_t serial) {
   s.ts = clock_.tick();
   s.busy = cell::ChannelSet(spectrum_size());
   search_ = s;
+
+  trace_search_start(serial, s.ts);
+  arm_timer(resilience().request_timeout, [this]() { abort_search(); });
 
   net::Message req;
   req.kind = net::MsgKind::kRequest;
@@ -81,6 +85,14 @@ void BasicSearchNode::handle_acquisition(const net::Message& msg) {
     search_->busy.insert(msg.channel);
   }
   await_decision_.erase(msg.from);
+  // The announcer's search is over; drop any reply we still owe it. (Only
+  // reachable when the announcer aborted on timeout — a deferred searcher
+  // cannot normally finalize without our reply. Answering after the abort
+  // would re-insert it into await_decision_ and park us forever.)
+  for (auto it = defer_.begin(); it != defer_.end();) {
+    it = (it->from == msg.from && it->serial == msg.serial) ? defer_.erase(it)
+                                                            : std::next(it);
+  }
   maybe_finalize();
 }
 
@@ -92,6 +104,7 @@ void BasicSearchNode::maybe_finalize() {
 }
 
 void BasicSearchNode::finalize() {
+  disarm_timer();
   const Search s = *search_;
   search_.reset();
 
@@ -117,11 +130,43 @@ void BasicSearchNode::finalize() {
     reply_use_set(d.from, d.serial);
   }
 
+  trace_search_decide(s.serial, r, r != cell::kNoChannel, false);
   if (r != cell::kNoChannel) {
     complete_acquired(s.serial, r, Outcome::kAcquiredSearch, 1);
   } else {
     complete_blocked(s.serial, Outcome::kBlockedNoChannel, 1);
   }
+}
+
+void BasicSearchNode::abort_search() {
+  // The request timer expired with replies or a decision announcement
+  // still outstanding (lost peers, paused MSS). Give up on this request:
+  // announce a failed decision so everyone we might have blocked
+  // unblocks, answer the searches we deferred, and report the timeout.
+  assert(search_.has_value());
+  const Search s = *search_;
+  search_.reset();
+  trace_timeout(s.serial, 0);
+
+  net::Message acq;
+  acq.kind = net::MsgKind::kAcquisition;
+  acq.acq_type = net::AcqType::kSearch;
+  acq.serial = s.serial;
+  acq.channel = cell::kNoChannel;
+  send_to_interference(acq);
+
+  // Answer the searches we deferred. They (and any earlier searchers we
+  // answered) stay in await_decision_: every searcher eventually
+  // announces — even an aborting one — so the entries clear, and a future
+  // search of ours must keep honouring the mutual-exclusion discipline.
+  while (!defer_.empty()) {
+    const Deferred d = defer_.front();
+    defer_.pop_front();
+    reply_use_set(d.from, d.serial);
+  }
+
+  trace_search_decide(s.serial, cell::kNoChannel, false, true);
+  complete_blocked(s.serial, Outcome::kBlockedTimeout, 1);
 }
 
 }  // namespace dca::proto

@@ -64,6 +64,7 @@ class BasicSearchNode final : public AllocatorNode {
   void reply_use_set(cell::CellId to, std::uint64_t serial);
   void maybe_finalize();
   void finalize();
+  void abort_search();
 
   std::optional<Search> search_;
   // Searchers we answered whose decision announcement is still pending

@@ -49,6 +49,7 @@ void BasicUpdateNode::try_attempt(std::uint64_t serial, int round) {
   a.round = round;
   attempt_ = a;
   granters_.clear();
+  arm_timer(resilience().request_timeout, [this]() { abort_attempt(); });
 
   net::Message req;
   req.kind = net::MsgKind::kRequest;
@@ -56,6 +57,10 @@ void BasicUpdateNode::try_attempt(std::uint64_t serial, int round) {
   req.serial = serial;
   req.channel = r;
   req.ts = attempt_->ts;
+  // The round number rides along and is echoed by every response, so a
+  // response straggling in from a timed-out earlier round of the same
+  // request cannot be miscounted into the current round.
+  req.wave = static_cast<std::uint64_t>(round);
   send_to_interference(req);
 
   if (interference().empty()) conclude_attempt();  // isolated cell
@@ -97,39 +102,43 @@ void BasicUpdateNode::handle_request(const net::Message& msg) {
   assert(msg.req_type == net::ReqType::kUpdate);
   const cell::ChannelId r = msg.channel;
   if (use_.contains(r)) {
-    reject(msg.from, msg.serial, r);
+    reject(msg.from, msg.serial, msg.wave, r);
     return;
   }
   if (attempt_.has_value() && attempt_->channel == r && !attempt_->aborted) {
     if (attempt_->ts < msg.ts) {
       // Our older request wins the tie.
-      reject(msg.from, msg.serial, r);
+      reject(msg.from, msg.serial, msg.wave, r);
       return;
     }
     // The older request wins: grant it and abort our own attempt; we will
     // retry with a different channel once our in-flight responses return.
     attempt_->aborted = true;
   }
-  grant(msg.from, msg.serial, r);
+  grant(msg.from, msg.serial, msg.wave, r);
 }
 
-void BasicUpdateNode::grant(cell::CellId to, std::uint64_t serial, cell::ChannelId r) {
+void BasicUpdateNode::grant(cell::CellId to, std::uint64_t serial,
+                            std::uint64_t wave, cell::ChannelId r) {
   pending_grants_[static_cast<std::size_t>(to)].insert(r);
   net::Message resp;
   resp.kind = net::MsgKind::kResponse;
   resp.res_type = net::ResType::kGrant;
   resp.serial = serial;
+  resp.wave = wave;
   resp.channel = r;
   resp.from = id();
   resp.to = to;
   env().send(resp);
 }
 
-void BasicUpdateNode::reject(cell::CellId to, std::uint64_t serial, cell::ChannelId r) {
+void BasicUpdateNode::reject(cell::CellId to, std::uint64_t serial,
+                             std::uint64_t wave, cell::ChannelId r) {
   net::Message resp;
   resp.kind = net::MsgKind::kResponse;
   resp.res_type = net::ResType::kReject;
   resp.serial = serial;
+  resp.wave = wave;
   resp.channel = r;
   resp.from = id();
   resp.to = to;
@@ -138,6 +147,7 @@ void BasicUpdateNode::reject(cell::CellId to, std::uint64_t serial, cell::Channe
 
 void BasicUpdateNode::handle_response(const net::Message& msg) {
   if (!attempt_.has_value() || msg.serial != attempt_->serial) return;
+  if (msg.wave != static_cast<std::uint64_t>(attempt_->round)) return;
   ++attempt_->responses;
   if (msg.res_type == net::ResType::kGrant) {
     granters_.push_back(msg.from);
@@ -151,6 +161,7 @@ void BasicUpdateNode::handle_response(const net::Message& msg) {
 
 void BasicUpdateNode::conclude_attempt() {
   assert(attempt_.has_value());
+  disarm_timer();
   const Attempt a = *attempt_;
   attempt_.reset();
 
@@ -180,6 +191,30 @@ void BasicUpdateNode::conclude_attempt() {
 
   if (a.round >= max_attempts_) {
     complete_blocked(a.serial, Outcome::kBlockedStarved, a.round);
+    return;
+  }
+  try_attempt(a.serial, a.round + 1);
+}
+
+void BasicUpdateNode::abort_attempt() {
+  // Request timer expired with responses outstanding. Release the channel
+  // to the WHOLE region, not just known granters: grants may still be in
+  // flight, and per-link FIFO guarantees our REQUEST precedes this
+  // RELEASE at every neighbour, so every pending grant gets cleaned up.
+  assert(attempt_.has_value());
+  const Attempt a = *attempt_;
+  attempt_.reset();
+  granters_.clear();
+  trace_timeout(a.serial, a.round);
+
+  net::Message rel;
+  rel.kind = net::MsgKind::kRelease;
+  rel.serial = a.serial;
+  rel.channel = a.channel;
+  send_to_interference(rel);
+
+  if (a.round >= max_attempts_) {
+    complete_blocked(a.serial, Outcome::kBlockedTimeout, a.round);
     return;
   }
   try_attempt(a.serial, a.round + 1);

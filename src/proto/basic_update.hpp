@@ -64,8 +64,11 @@ class BasicUpdateNode final : public AllocatorNode {
   void handle_request(const net::Message& msg);
   void handle_response(const net::Message& msg);
   void conclude_attempt();
-  void grant(cell::CellId to, std::uint64_t serial, cell::ChannelId r);
-  void reject(cell::CellId to, std::uint64_t serial, cell::ChannelId r);
+  void abort_attempt();
+  void grant(cell::CellId to, std::uint64_t serial, std::uint64_t wave,
+             cell::ChannelId r);
+  void reject(cell::CellId to, std::uint64_t serial, std::uint64_t wave,
+              cell::ChannelId r);
 
   int max_attempts_;
   ChannelPick pick_;

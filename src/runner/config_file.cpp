@@ -144,6 +144,24 @@ bool apply_scenario_text(const std::string& text, ScenarioConfig& config,
     } else if (key == "repack") {
       if (!parse_bool(val, b)) return fail("bool");
       config.adaptive.repack = b;
+    } else if (key == "drop_prob") {
+      if (!parse_double(val, d)) return fail("number");
+      config.fault.drop_prob = d;
+    } else if (key == "dup_prob") {
+      if (!parse_double(val, d)) return fail("number");
+      config.fault.dup_prob = d;
+    } else if (key == "fault_jitter_ms") {
+      if (!parse_double(val, d)) return fail("number");
+      config.fault.jitter = sim::from_seconds(d / 1000.0);
+    } else if (key == "pause_rate_per_min") {
+      if (!parse_double(val, d)) return fail("number");
+      config.fault.pause_rate_per_min = d;
+    } else if (key == "pause_mean_s") {
+      if (!parse_double(val, d)) return fail("number");
+      config.fault.pause_mean_s = d;
+    } else if (key == "timeout_ms") {
+      if (!parse_double(val, d)) return fail("number");
+      config.request_timeout = sim::from_seconds(d / 1000.0);
     } else {
       error = "line " + std::to_string(lineno) + ": unknown key '" + key + "'";
       return false;
@@ -190,6 +208,12 @@ std::string scenario_to_text(const ScenarioConfig& c) {
   os << "best_heuristic = " << (c.adaptive.use_best_heuristic ? "true" : "false")
      << "\n";
   os << "repack = " << (c.adaptive.repack ? "true" : "false") << "\n";
+  os << "drop_prob = " << c.fault.drop_prob << "\n";
+  os << "dup_prob = " << c.fault.dup_prob << "\n";
+  os << "fault_jitter_ms = " << sim::to_milliseconds(c.fault.jitter) << "\n";
+  os << "pause_rate_per_min = " << c.fault.pause_rate_per_min << "\n";
+  os << "pause_mean_s = " << c.fault.pause_mean_s << "\n";
+  os << "timeout_ms = " << sim::to_milliseconds(c.request_timeout) << "\n";
   return os.str();
 }
 

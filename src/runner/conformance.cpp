@@ -1,0 +1,323 @@
+#include "runner/conformance.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "metrics/json.hpp"
+
+namespace dca::runner {
+
+std::string ConformanceReport::to_string(std::size_t max_lines) const {
+  std::ostringstream os;
+  os << violations.size() << " violation(s) over " << events << " events";
+  std::size_t shown = 0;
+  for (const auto& v : violations) {
+    if (shown++ == max_lines) {
+      os << "\n  ... (" << violations.size() - max_lines << " more)";
+      break;
+    }
+    os << "\n  [" << v.rule << "] t=" << v.t << " " << v.detail;
+  }
+  return os.str();
+}
+
+ConformanceChecker::ConformanceChecker(const cell::HexGrid& grid, int n_channels)
+    : grid_(grid), n_channels_(n_channels) {
+  held_.assign(static_cast<std::size_t>(grid.n_cells()),
+               cell::ChannelSet(n_channels));
+}
+
+void ConformanceChecker::violate(const sim::TraceEvent& ev, std::string rule,
+                                 std::string detail) {
+  report_.violations.push_back(
+      ConformanceViolation{std::move(rule), ev.t, std::move(detail)});
+}
+
+void ConformanceChecker::feed(const sim::TraceEvent& ev) {
+  ++report_.events;
+  if (ev.t < last_t_) {
+    violate(ev, "time-order", "event timestamp went backwards (prev=" +
+                                  std::to_string(last_t_) + ")");
+  }
+  last_t_ = ev.t;
+
+  const auto cell_str = [&ev]() { return "cell=" + std::to_string(ev.cell); };
+  const auto in_grid = [this](std::int32_t c) {
+    return c >= 0 && c < grid_.n_cells();
+  };
+
+  switch (ev.kind) {
+    case sim::TraceKind::kRequest: {
+      if (!in_grid(ev.cell)) {
+        violate(ev, "bad-cell", cell_str());
+        return;
+      }
+      if (!open_.emplace(ev.serial, ev.cell).second) {
+        violate(ev, "duplicate-request",
+                "serial " + std::to_string(ev.serial) + " already open");
+      }
+      break;
+    }
+
+    case sim::TraceKind::kAcquire: {
+      if (!in_grid(ev.cell)) {
+        violate(ev, "bad-cell", cell_str());
+        return;
+      }
+      // serial == 0 marks an intra-cell reassignment (no request involved).
+      if (ev.serial != 0 && open_.erase(ev.serial) == 0) {
+        violate(ev, "acquire-without-request",
+                cell_str() + " serial=" + std::to_string(ev.serial));
+      }
+      if (ev.channel < 0 || ev.channel >= n_channels_) {
+        violate(ev, "bad-channel", cell_str() + " ch=" + std::to_string(ev.channel));
+        return;
+      }
+      const auto c = static_cast<std::size_t>(ev.cell);
+      if (held_[c].contains(ev.channel)) {
+        violate(ev, "double-acquire",
+                cell_str() + " already holds ch=" + std::to_string(ev.channel));
+        return;
+      }
+      for (const cell::CellId j : grid_.interference(ev.cell)) {
+        if (held_[static_cast<std::size_t>(j)].contains(ev.channel)) {
+          violate(ev, "reuse-distance",
+                  cell_str() + " ch=" + std::to_string(ev.channel) +
+                      " also held by interfering cell=" + std::to_string(j));
+        }
+      }
+      held_[c].insert(ev.channel);
+      break;
+    }
+
+    case sim::TraceKind::kRelease: {
+      if (!in_grid(ev.cell)) {
+        violate(ev, "bad-cell", cell_str());
+        return;
+      }
+      const auto c = static_cast<std::size_t>(ev.cell);
+      if (!held_[c].contains(ev.channel)) {
+        violate(ev, "phantom-release",
+                cell_str() + " does not hold ch=" + std::to_string(ev.channel));
+        return;
+      }
+      held_[c].erase(ev.channel);
+      break;
+    }
+
+    case sim::TraceKind::kBlock: {
+      if (open_.erase(ev.serial) == 0) {
+        violate(ev, "block-without-request",
+                cell_str() + " serial=" + std::to_string(ev.serial));
+      }
+      break;
+    }
+
+    case sim::TraceKind::kSearchStart: {
+      if (!in_grid(ev.cell)) {
+        violate(ev, "bad-cell", cell_str());
+        return;
+      }
+      OpenSearch s;
+      s.serial = ev.serial;
+      s.ts_count = ev.a;
+      s.ts_node = ev.b;
+      s.started = ev.t;
+      if (!searching_.emplace(ev.cell, s).second) {
+        violate(ev, "overlapping-search",
+                cell_str() + " started a search while one is open");
+      }
+      break;
+    }
+
+    case sim::TraceKind::kSearchDecide: {
+      const auto it = searching_.find(ev.cell);
+      if (it == searching_.end() || it->second.serial != ev.serial) {
+        violate(ev, "decide-without-search",
+                cell_str() + " serial=" + std::to_string(ev.serial));
+        return;
+      }
+      const OpenSearch mine = it->second;
+      searching_.erase(it);
+      if (ev.b != 0) ++report_.timeout_aborts;
+      if (ev.a == 0) break;  // no selection: nothing to order-check
+      // Successful selection: no interfering search with an OLDER
+      // timestamp, begun no later than ours, may still be undecided — the
+      // sequencing discipline says the older search concludes first.
+      for (const cell::CellId j : grid_.interference(ev.cell)) {
+        const auto jt = searching_.find(j);
+        if (jt == searching_.end()) continue;
+        const OpenSearch& other = jt->second;
+        if (other.started <= mine.started &&
+            ts_less(other.ts_count, other.ts_node, mine.ts_count, mine.ts_node)) {
+          violate(ev, "search-order",
+                  cell_str() + " decided ch=" + std::to_string(ev.channel) +
+                      " while older search at cell=" + std::to_string(j) +
+                      " (ts=" + std::to_string(other.ts_count) + "." +
+                      std::to_string(other.ts_node) + ") is undecided");
+        }
+      }
+      break;
+    }
+
+    case sim::TraceKind::kTimeout:
+      ++report_.timeouts;
+      break;
+
+    case sim::TraceKind::kPause:
+    case sim::TraceKind::kResume:
+    case sim::TraceKind::kDrop:
+    case sim::TraceKind::kDup:
+    case sim::TraceKind::kRetransmit:
+      break;  // fault-layer bookkeeping, no invariant attached
+
+    case sim::TraceKind::kRunEnd: {
+      report_.saw_run_end = true;
+      if (ev.a == 0) {
+        violate(ev, "not-quiescent", "run ended before the system drained");
+      }
+      break;
+    }
+  }
+}
+
+ConformanceReport ConformanceChecker::finish() {
+  sim::TraceEvent end;
+  end.kind = sim::TraceKind::kRunEnd;
+  end.t = last_t_;
+  for (std::size_t c = 0; c < held_.size(); ++c) {
+    for (cell::ChannelId ch = held_[c].first(); ch != cell::kNoChannel;
+         ch = held_[c].next_after(ch)) {
+      violate(end, "leaked-channel",
+              "cell=" + std::to_string(c) + " still holds ch=" +
+                  std::to_string(ch) + " at run end");
+    }
+  }
+  for (const auto& [serial, cellId] : open_) {
+    violate(end, "wedged-call",
+            "serial=" + std::to_string(serial) + " at cell=" +
+                std::to_string(cellId) + " never completed");
+  }
+  for (const auto& [cellId, s] : searching_) {
+    violate(end, "unclosed-search",
+            "cell=" + std::to_string(cellId) + " serial=" +
+                std::to_string(s.serial) + " never decided");
+  }
+  return report_;
+}
+
+ConformanceReport check_trace(const cell::HexGrid& grid, int n_channels,
+                              const std::vector<sim::TraceEvent>& trace) {
+  ConformanceChecker checker(grid, n_channels);
+  for (const auto& ev : trace) checker.feed(ev);
+  return checker.finish();
+}
+
+// ---------------------------------------------------------------------------
+// JSONL round-trip
+// ---------------------------------------------------------------------------
+
+std::string trace_to_jsonl(const std::vector<sim::TraceEvent>& trace) {
+  std::ostringstream os;
+  for (const auto& e : trace) {
+    metrics::JsonWriter w;
+    w.begin_object();
+    w.key("k");
+    w.value(sim::trace_kind_name(e.kind));
+    w.key("t");
+    w.value(static_cast<std::int64_t>(e.t));
+    w.key("cell");
+    w.value(e.cell);
+    w.key("peer");
+    w.value(e.peer);
+    w.key("ch");
+    w.value(e.channel);
+    w.key("serial");
+    w.value(e.serial);
+    w.key("a");
+    w.value(e.a);
+    w.key("b");
+    w.value(e.b);
+    w.end_object();
+    os << w.str() << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+// Extracts the raw value token following `"key":` in a single-line JSON
+// object with the fixed schema above (no nesting, no spaces required).
+bool raw_field(const std::string& line, const std::string& key, std::string& out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  std::size_t begin = pos + needle.size();
+  std::size_t end = begin;
+  if (begin < line.size() && line[begin] == '"') {
+    end = line.find('"', begin + 1);
+    if (end == std::string::npos) return false;
+    out = line.substr(begin + 1, end - begin - 1);
+    return true;
+  }
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  out = line.substr(begin, end - begin);
+  return !out.empty();
+}
+
+bool int_field(const std::string& line, const std::string& key, std::int64_t& out) {
+  std::string raw;
+  if (!raw_field(line, key, raw)) return false;
+  char* end = nullptr;
+  out = std::strtoll(raw.c_str(), &end, 10);
+  return end != raw.c_str() && *end == '\0';
+}
+
+bool kind_from_name(const std::string& name, sim::TraceKind& out) {
+  for (int k = 0; k <= static_cast<int>(sim::TraceKind::kRunEnd); ++k) {
+    const auto kind = static_cast<sim::TraceKind>(k);
+    if (name == sim::trace_kind_name(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool trace_from_jsonl(const std::string& text, std::vector<sim::TraceEvent>& out,
+                      std::string& error) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto fail = [&](const char* what) {
+      error = "line " + std::to_string(lineno) + ": " + what;
+      return false;
+    };
+    std::string kname;
+    if (!raw_field(line, "k", kname)) return fail("missing \"k\"");
+    sim::TraceEvent e;
+    if (!kind_from_name(kname, e.kind)) return fail("unknown event kind");
+    std::int64_t v = 0;
+    if (!int_field(line, "t", v)) return fail("missing \"t\"");
+    e.t = v;
+    if (!int_field(line, "cell", v)) return fail("missing \"cell\"");
+    e.cell = static_cast<std::int32_t>(v);
+    if (!int_field(line, "peer", v)) return fail("missing \"peer\"");
+    e.peer = static_cast<std::int32_t>(v);
+    if (!int_field(line, "ch", v)) return fail("missing \"ch\"");
+    e.channel = static_cast<std::int32_t>(v);
+    if (!int_field(line, "serial", v)) return fail("missing \"serial\"");
+    e.serial = static_cast<std::uint64_t>(v);
+    if (!int_field(line, "a", e.a)) return fail("missing \"a\"");
+    if (!int_field(line, "b", e.b)) return fail("missing \"b\"");
+    out.push_back(e);
+  }
+  return true;
+}
+
+}  // namespace dca::runner

@@ -1,0 +1,104 @@
+// Trace-based conformance checking: replay a structured event trace (see
+// sim/trace.hpp) against the cell geometry and assert the paper's
+// invariants hold over the whole run:
+//
+//   * reuse-distance exclusivity — no two cells within the interference
+//     radius hold the same channel at overlapping times (Theorem 1, but
+//     checked from the trace alone, independent of the World's online
+//     ground-truth check);
+//   * search sequencing — concurrent searches in interfering cells
+//     conclude successfully in timestamp order: a search may not pick a
+//     channel while an interfering search with an older timestamp, begun
+//     no later, is still undecided (timeout aborts are exempt — they pick
+//     nothing);
+//   * lifecycle hygiene — every acquire matches an open request, every
+//     release matches a held channel, nothing is double-closed;
+//   * terminal cleanliness — at run end no channel is still held, no
+//     request is still open (a wedged call), no search is still undecided,
+//     and the run reached quiescence.
+//
+// The checker is stream-oriented (feed events in time order, then
+// finish()) so it works both on live TraceRecorder output and on traces
+// re-read from JSONL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cell/grid.hpp"
+#include "cell/spectrum.hpp"
+#include "sim/trace.hpp"
+
+namespace dca::runner {
+
+struct ConformanceViolation {
+  std::string rule;  // "reuse-distance", "search-order", "leaked-channel", ...
+  sim::SimTime t = 0;
+  std::string detail;
+};
+
+struct ConformanceReport {
+  std::vector<ConformanceViolation> violations;
+  std::uint64_t events = 0;
+  std::uint64_t timeouts = 0;        // protocol timers fired (kTimeout)
+  std::uint64_t timeout_aborts = 0;  // searches concluded by abort
+  bool saw_run_end = false;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// One line per violation (capped), for test failure messages.
+  [[nodiscard]] std::string to_string(std::size_t max_lines = 10) const;
+};
+
+class ConformanceChecker {
+ public:
+  ConformanceChecker(const cell::HexGrid& grid, int n_channels);
+
+  /// Feeds one event. Events must arrive in non-decreasing `t` order.
+  void feed(const sim::TraceEvent& ev);
+
+  /// Runs the end-of-trace checks and returns the accumulated report.
+  [[nodiscard]] ConformanceReport finish();
+
+ private:
+  struct OpenSearch {
+    std::uint64_t serial = 0;
+    std::int64_t ts_count = 0;  // Lamport timestamp of the search
+    std::int64_t ts_node = 0;
+    sim::SimTime started = 0;
+  };
+
+  void violate(const sim::TraceEvent& ev, std::string rule, std::string detail);
+  /// True when (a_count, a_node) < (b_count, b_node), the Timestamp order.
+  static bool ts_less(std::int64_t ac, std::int64_t an, std::int64_t bc,
+                      std::int64_t bn) {
+    return ac != bc ? ac < bc : an < bn;
+  }
+
+  const cell::HexGrid& grid_;
+  int n_channels_;
+  ConformanceReport report_;
+  sim::SimTime last_t_ = 0;
+  std::vector<cell::ChannelSet> held_;                     // by cell
+  std::unordered_map<std::uint64_t, std::int32_t> open_;   // serial -> cell
+  std::unordered_map<std::int32_t, OpenSearch> searching_; // cell -> search
+};
+
+/// Convenience wrapper: feed a whole trace, return the report.
+[[nodiscard]] ConformanceReport check_trace(const cell::HexGrid& grid,
+                                            int n_channels,
+                                            const std::vector<sim::TraceEvent>& trace);
+
+// -- JSONL serialization -----------------------------------------------------
+
+/// One JSON object per line, fixed schema:
+///   {"k":"acquire","t":1234,"cell":5,"peer":-1,"ch":7,"serial":42,"a":0,"b":0}
+[[nodiscard]] std::string trace_to_jsonl(const std::vector<sim::TraceEvent>& trace);
+
+/// Inverse of trace_to_jsonl. Returns false (with `error` set) on the
+/// first malformed line; `out` keeps the events parsed so far.
+[[nodiscard]] bool trace_from_jsonl(const std::string& text,
+                                    std::vector<sim::TraceEvent>& out,
+                                    std::string& error);
+
+}  // namespace dca::runner

@@ -10,8 +10,10 @@
 namespace dca::runner {
 
 RunResult run_profile(const ScenarioConfig& config, Scheme scheme,
-                      const traffic::LoadProfile& profile) {
+                      const traffic::LoadProfile& profile,
+                      sim::TraceRecorder* trace) {
   World world(config, scheme);
+  world.set_recorder(trace);
   traffic::TrafficSource source(
       world.simulator(), world.grid(), profile, config.mean_holding_s, config.seed,
       [&world](const traffic::CallSpec& spec) { world.submit_call(spec); });
@@ -36,17 +38,28 @@ RunResult run_profile(const ScenarioConfig& config, Scheme scheme,
   out.violations = world.interference_violations();
   out.executed_events = world.simulator().executed();
   out.quiescent = world.quiescent();
+  out.transport = world.network().transport_stats();
+  if (trace != nullptr) {
+    sim::TraceEvent end;
+    end.kind = sim::TraceKind::kRunEnd;
+    end.t = world.simulator().now();
+    end.a = out.quiescent ? 1 : 0;
+    end.b = static_cast<std::int64_t>(world.active_calls());
+    trace->emit(end);
+  }
   return out;
 }
 
-RunResult run_uniform(const ScenarioConfig& config, Scheme scheme, double rho) {
+RunResult run_uniform(const ScenarioConfig& config, Scheme scheme, double rho,
+                      sim::TraceRecorder* trace) {
   const traffic::UniformProfile profile(config.arrival_rate_for_load(rho));
-  return run_profile(config, scheme, profile);
+  return run_profile(config, scheme, profile, trace);
 }
 
 RunResult run_hotspot(const ScenarioConfig& config, Scheme scheme, double rho_base,
                       double hot_factor, sim::SimTime hot_start, sim::SimTime hot_end,
-                      std::vector<cell::CellId> hot_cells) {
+                      std::vector<cell::CellId> hot_cells,
+                      sim::TraceRecorder* trace) {
   if (hot_cells.empty()) {
     // Default hot spot: the central cell of the grid.
     hot_cells.push_back((config.rows / 2) * config.cols + config.cols / 2);
@@ -54,7 +67,7 @@ RunResult run_hotspot(const ScenarioConfig& config, Scheme scheme, double rho_ba
   const traffic::HotspotProfile profile(config.arrival_rate_for_load(rho_base),
                                         std::move(hot_cells), hot_factor, hot_start,
                                         hot_end);
-  return run_profile(config, scheme, profile);
+  return run_profile(config, scheme, profile, trace);
 }
 
 Replicated run_replicated(const ScenarioConfig& config, Scheme scheme, double rho,

@@ -9,9 +9,11 @@
 #include <vector>
 
 #include "metrics/collector.hpp"
+#include "net/fault.hpp"
 #include "net/message.hpp"
 #include "runner/scenario.hpp"
 #include "runner/world.hpp"
+#include "sim/trace.hpp"
 #include "traffic/profile.hpp"
 
 namespace dca::runner {
@@ -26,6 +28,7 @@ struct RunResult {
   std::uint64_t violations = 0;
   std::uint64_t executed_events = 0;
   bool quiescent = false;
+  net::TransportStats transport;  // all-zero unless faults were enabled
 
   /// Control messages per offered call over the whole run (global view,
   /// complementary to the per-call attribution in agg.messages_per_call).
@@ -38,20 +41,26 @@ struct RunResult {
 };
 
 /// Runs `scheme` under the given load profile for config.duration (plus
-/// drain time) and aggregates records after config.warmup.
+/// drain time) and aggregates records after config.warmup. When `trace`
+/// is non-null every structured event (call lifecycle, protocol search
+/// decisions, fault-layer drops/pauses) is appended to it, ending with a
+/// kRunEnd summary event (a = quiescent flag, b = calls still open).
 [[nodiscard]] RunResult run_profile(const ScenarioConfig& config, Scheme scheme,
-                                    const traffic::LoadProfile& profile);
+                                    const traffic::LoadProfile& profile,
+                                    sim::TraceRecorder* trace = nullptr);
 
 /// Uniform Poisson load of `rho` Erlang per cell (normalized to |PR|).
 [[nodiscard]] RunResult run_uniform(const ScenarioConfig& config, Scheme scheme,
-                                    double rho);
+                                    double rho,
+                                    sim::TraceRecorder* trace = nullptr);
 
 /// Hot-spot scenario: uniform base load `rho_base` with the central cell(s)
 /// at `hot_factor` times the base rate inside [hot_start, hot_end].
 [[nodiscard]] RunResult run_hotspot(const ScenarioConfig& config, Scheme scheme,
                                     double rho_base, double hot_factor,
                                     sim::SimTime hot_start, sim::SimTime hot_end,
-                                    std::vector<cell::CellId> hot_cells = {});
+                                    std::vector<cell::CellId> hot_cells = {},
+                                    sim::TraceRecorder* trace = nullptr);
 
 /// Multi-seed replication of one experiment point: summary statistics of
 /// the headline metrics over independent seeds. The confidence the paper's

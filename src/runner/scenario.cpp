@@ -34,6 +34,18 @@ std::string validate_scenario(const ScenarioConfig& c) {
     return "theta_high must exceed theta_low (hysteresis)";
   if (c.adaptive.alpha < 1) return "alpha must be >= 1";
   if (c.adaptive.window <= 0) return "NFC window must be positive";
+  if (c.fault.drop_prob < 0.0 || c.fault.drop_prob > 0.9)
+    return "drop_prob must be in [0, 0.9] (the transport needs some "
+           "deliveries to make progress)";
+  if (c.fault.dup_prob < 0.0 || c.fault.dup_prob > 1.0)
+    return "dup_prob must be in [0, 1]";
+  if (c.fault.jitter < 0) return "fault jitter cannot be negative";
+  if (c.fault.pause_rate_per_min < 0.0) return "pause rate cannot be negative";
+  if (c.fault.pause_rate_per_min > 0.0 && c.fault.pause_mean_s <= 0.0)
+    return "pause_mean_s must be positive when pauses are enabled";
+  if (c.request_timeout < 0) return "request timeout cannot be negative";
+  if (c.fault.pause_rate_per_min > 0.0 && c.request_timeout == 0)
+    return "MSS pauses stall handshakes indefinitely; set request_timeout";
 
   // Final authority: build the actual geometry and validate the colouring
   // (catches e.g. torus dimensions incompatible with the cluster pattern).

@@ -7,6 +7,7 @@
 
 #include "cell/grid.hpp"
 #include "core/params.hpp"
+#include "net/fault.hpp"
 #include "proto/policy.hpp"
 #include "sim/types.hpp"
 
@@ -77,6 +78,16 @@ struct ScenarioConfig {
 
   // Mobility (optional handoff model; 0 disables).
   double mean_dwell_s = 0.0;
+
+  // Fault injection (all-zero ⇒ the fault layer is fully bypassed and the
+  // run is bit-identical to a pre-fault-layer build).
+  net::FaultConfig fault;
+
+  /// Per-request protocol timeout: a node gives up on an unanswered
+  /// handshake phase after this long and runs its abort path (bounded
+  /// retries, then the search/mode-3 fallback). 0 disables the timers —
+  /// correct for fault-free runs, where every response always arrives.
+  sim::Duration request_timeout = 0;
 
   /// Offered load per cell in Erlangs normalized to the primary-set size:
   /// rho = lambda * holding / |PR|  =>  lambda = rho * |PR| / holding.

@@ -70,6 +70,17 @@ World::World(const ScenarioConfig& config, Scheme scheme,
     nodes_[static_cast<std::size_t>(msg.to)]->on_message(msg);
   });
   net_->set_observer([this](const net::Message& msg) { collector_.on_message(msg); });
+  if (config_.fault.enabled()) {
+    net_->enable_faults(config_.fault, config_.seed);
+  }
+  if (config_.fault.pauses()) {
+    pause_rng_.reserve(static_cast<std::size_t>(grid_.n_cells()));
+    for (cell::CellId c = 0; c < grid_.n_cells(); ++c) {
+      pause_rng_.push_back(sim::RngStream::derive(
+          config_.seed, 0x9a05e000ull + static_cast<std::uint64_t>(c)));
+      schedule_pause_cycle(c);
+    }
+  }
 
   const auto n = static_cast<std::size_t>(grid_.n_cells());
   truth_.assign(n, cell::ChannelSet(config_.n_channels));
@@ -81,7 +92,8 @@ World::World(const ScenarioConfig& config, Scheme scheme,
 
   nodes_.reserve(n);
   for (cell::CellId c = 0; c < grid_.n_cells(); ++c) {
-    proto::NodeContext ctx{c, &grid_, &plan_, this};
+    proto::NodeContext ctx{c, &grid_, &plan_, this,
+                           proto::Resilience{config_.request_timeout}};
     switch (scheme_) {
       case Scheme::kFca:
         nodes_.push_back(std::make_unique<proto::FcaNode>(ctx));
@@ -114,7 +126,58 @@ void World::submit_call(const traffic::CallSpec& spec) {
   const std::uint64_t serial = next_serial_++;
   pending_[serial] = PendingCall{spec.id, spec.holding, /*is_handoff=*/false};
   collector_.open(serial, spec.id, spec.cell, sim_.now(), /*is_handoff=*/false);
+  trace_call_event(sim::TraceKind::kRequest, spec.cell, cell::kNoChannel, serial);
   nodes_[static_cast<std::size_t>(spec.cell)]->request_channel(serial);
+}
+
+void World::set_recorder(sim::TraceRecorder* rec) {
+  recorder_ = rec;
+  net_->set_recorder(rec);
+}
+
+sim::EventId World::schedule_in(sim::Duration delay, std::function<void()> fn) {
+  return sim_.schedule_in(delay, std::move(fn));
+}
+
+void World::cancel_scheduled(sim::EventId id) { sim_.cancel(id); }
+
+void World::record(const sim::TraceEvent& ev) {
+  if (recorder_ != nullptr) recorder_->emit(ev);
+}
+
+void World::trace_call_event(sim::TraceKind kind, cell::CellId cellId,
+                             cell::ChannelId ch, std::uint64_t serial,
+                             std::int64_t a) {
+  if (recorder_ == nullptr) return;
+  sim::TraceEvent e;
+  e.kind = kind;
+  e.t = sim_.now();
+  e.cell = static_cast<std::int32_t>(cellId);
+  e.channel = static_cast<std::int32_t>(ch);
+  e.serial = serial;
+  e.a = a;
+  recorder_->emit(e);
+}
+
+void World::schedule_pause_cycle(cell::CellId c) {
+  // Exponential gap between pause onsets, exponential pause length; each
+  // cell draws from its own derived stream so the timeline is independent
+  // of event interleaving. No new pause starts past the arrival horizon,
+  // keeping the drain phase pause-free (quiescence stays reachable).
+  auto& rng = pause_rng_[static_cast<std::size_t>(c)];
+  const double gap_s =
+      rng.exponential_mean(60.0 / config_.fault.pause_rate_per_min);
+  const sim::SimTime at = sim_.now() + sim::from_seconds(gap_s);
+  if (at >= config_.duration) return;
+  const double len_s = rng.exponential_mean(config_.fault.pause_mean_s);
+  const sim::Duration len = std::max<sim::Duration>(sim::from_seconds(len_s), 1);
+  sim_.schedule_at(at, [this, c, len]() {
+    net_->pause(c);
+    sim_.schedule_in(len, [this, c]() {
+      net_->resume(c);
+      schedule_pause_cycle(c);
+    });
+  });
 }
 
 sim::SimTime World::now() const { return sim_.now(); }
@@ -148,6 +211,8 @@ void World::notify_acquired(cell::CellId cellId, std::uint64_t serial,
   truth_[static_cast<std::size_t>(cellId)].insert(ch);
   accumulate_usage();
   ++channels_in_use_;
+  trace_call_event(sim::TraceKind::kAcquire, cellId, ch, serial,
+                   static_cast<std::int64_t>(how));
 
   // ---- environment samples for the paper's N_borrow / N_search.
   int borrowing = 0;
@@ -207,6 +272,7 @@ void World::end_or_handoff(std::uint64_t serial) {
   pending_[new_serial] =
       PendingCall{state.call, state.ends - sim_.now(), /*is_handoff=*/true};
   collector_.open(new_serial, state.call, dest, sim_.now(), /*is_handoff=*/true);
+  trace_call_event(sim::TraceKind::kRequest, dest, cell::kNoChannel, new_serial);
   nodes_[static_cast<std::size_t>(dest)]->request_channel(new_serial);
 }
 
@@ -221,6 +287,8 @@ void World::notify_blocked(cell::CellId cellId, std::uint64_t serial,
   }
   collector_.close(serial, sim_.now(), why, attempts, borrowing, searching);
   pending_.erase(serial);
+  trace_call_event(sim::TraceKind::kBlock, cellId, cell::kNoChannel, serial,
+                   static_cast<std::int64_t>(why));
 }
 
 void World::notify_released(cell::CellId cellId, cell::ChannelId ch) {
@@ -229,6 +297,7 @@ void World::notify_released(cell::CellId cellId, cell::ChannelId ch) {
   accumulate_usage();
   --channels_in_use_;
   assert(channels_in_use_ >= 0);
+  trace_call_event(sim::TraceKind::kRelease, cellId, ch, 0);
 }
 
 void World::notify_reassigned(cell::CellId cellId, cell::ChannelId from_ch,
@@ -248,6 +317,9 @@ void World::notify_reassigned(cell::CellId cellId, cell::ChannelId from_ch,
   truth_[static_cast<std::size_t>(cellId)].erase(from_ch);
   truth_[static_cast<std::size_t>(cellId)].insert(to_ch);
   ++reassignments_;
+  // serial 0 = reassignment, no open request attached (see checker).
+  trace_call_event(sim::TraceKind::kRelease, cellId, from_ch, 0);
+  trace_call_event(sim::TraceKind::kAcquire, cellId, to_ch, 0);
 
   // Re-key the active call carried on from_ch.
   for (auto& [serial, call] : active_) {

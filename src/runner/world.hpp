@@ -22,6 +22,7 @@
 #include "runner/scenario.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 #include "traffic/call.hpp"
 
 namespace dca::runner {
@@ -53,6 +54,13 @@ class World final : public proto::NodeEnv {
   void notify_reassigned(cell::CellId cellId, cell::ChannelId from_ch,
                          cell::ChannelId to_ch) override;
   sim::RngStream& rng(cell::CellId cellId) override;
+  sim::EventId schedule_in(sim::Duration delay, std::function<void()> fn) override;
+  void cancel_scheduled(sim::EventId id) override;
+  void record(const sim::TraceEvent& ev) override;
+
+  /// Attaches a structured-trace sink (also wired into the network for
+  /// fault/pause events). Call before running; pass nullptr to detach.
+  void set_recorder(sim::TraceRecorder* rec);
 
   // -- accessors ------------------------------------------------------------
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
@@ -112,6 +120,10 @@ class World final : public proto::NodeEnv {
 
   void end_or_handoff(std::uint64_t serial);
   void schedule_call_progress(std::uint64_t serial, ActiveCall state);
+  void schedule_pause_cycle(cell::CellId c);
+  void trace_call_event(sim::TraceKind kind, cell::CellId cellId,
+                        cell::ChannelId ch, std::uint64_t serial,
+                        std::int64_t a = 0);
 
   ScenarioConfig config_;
   Scheme scheme_;
@@ -122,7 +134,9 @@ class World final : public proto::NodeEnv {
   std::vector<std::unique_ptr<proto::AllocatorNode>> nodes_;
   std::vector<sim::RngStream> node_rng_;
   sim::RngStream mobility_rng_;
+  std::vector<sim::RngStream> pause_rng_;  // per-cell MSS pause timeline
   metrics::Collector collector_;
+  sim::TraceRecorder* recorder_ = nullptr;
 
   std::uint64_t next_serial_ = 1;
   std::unordered_map<std::uint64_t, PendingCall> pending_;  // serial -> in-flight

@@ -1,0 +1,85 @@
+// Structured event trace: a flat, append-only record of the semantically
+// meaningful moments of a run (call lifecycle, search sequencing, fault
+// injections, pauses). The conformance checker in src/runner replays a
+// recorded trace against the cell geometry and asserts the paper's
+// invariants; the runner can also serialize it as JSONL for offline
+// analysis.
+//
+// The struct is deliberately plain — fixed-width integers only, no
+// dependencies above sim/ — so every layer (net, proto, runner) can emit
+// events without include cycles. Field meaning is per-kind; unused
+// fields stay at their defaults and serialize anyway, keeping the JSONL
+// schema fixed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace dca::sim {
+
+enum class TraceKind : std::uint8_t {
+  kRequest = 0,      // cell asked for a channel         (cell, serial)
+  kAcquire = 1,      // channel in use begins            (cell, channel, serial)
+  kRelease = 2,      // channel in use ends              (cell, channel, serial)
+  kBlock = 3,        // request failed                   (cell, serial, a=outcome)
+  kSearchStart = 4,  // search round began               (cell, serial, a=ts.count, b=ts.node)
+  kSearchDecide = 5, // search round concluded           (cell, serial, channel, a=success, b=timeout_abort)
+  kTimeout = 6,      // protocol timer fired             (cell, serial, a=phase tag)
+  kPause = 7,        // MSS stalled                      (cell)
+  kResume = 8,       // MSS back online                  (cell)
+  kDrop = 9,         // link dropped a frame             (cell=from, peer=to, a=seq)
+  kDup = 10,         // link duplicated a frame          (cell=from, peer=to, a=seq)
+  kRetransmit = 11,  // transport retransmitted a frame  (cell=from, peer=to, a=seq, b=attempt)
+  kRunEnd = 12,      // end of run (after drain)         (t only)
+};
+
+[[nodiscard]] inline const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kRequest: return "request";
+    case TraceKind::kAcquire: return "acquire";
+    case TraceKind::kRelease: return "release";
+    case TraceKind::kBlock: return "block";
+    case TraceKind::kSearchStart: return "search_start";
+    case TraceKind::kSearchDecide: return "search_decide";
+    case TraceKind::kTimeout: return "timeout";
+    case TraceKind::kPause: return "pause";
+    case TraceKind::kResume: return "resume";
+    case TraceKind::kDrop: return "drop";
+    case TraceKind::kDup: return "dup";
+    case TraceKind::kRetransmit: return "retransmit";
+    case TraceKind::kRunEnd: return "run_end";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  TraceKind kind = TraceKind::kRequest;
+  SimTime t = 0;
+  std::int32_t cell = -1;
+  std::int32_t peer = -1;
+  std::int32_t channel = -1;
+  std::uint64_t serial = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// In-memory event sink. Attach one to a World (and through it to the
+/// Network) to capture a run; absent a recorder every emit site is a
+/// no-op, so tracing costs nothing when off.
+class TraceRecorder {
+ public:
+  void emit(const TraceEvent& e) { events_.push_back(e); }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dca::sim

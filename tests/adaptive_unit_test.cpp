@@ -119,9 +119,10 @@ TEST_F(AdaptiveUnit, FourthRequestWaitsForStatusesThenBorrows) {
 TEST_F(AdaptiveUnit, UnanimousGrantsAcquireWithoutBroadcast) {
   exhaust_primaries();
   node_->request_channel(4);
-  const cell::ChannelId r = env_.sent_of(net::MsgKind::kRequest)[0].channel;
+  const net::Message rnd = env_.sent_of(net::MsgKind::kRequest)[0];
+  const cell::ChannelId r = rnd.channel;
   for (const cell::CellId j : in()) {
-    node_->on_message(testutil::mk_response(j, kSelf, net::ResType::kGrant, r, 4));
+    node_->on_message(testutil::mk_echo_response(rnd, j, net::ResType::kGrant));
   }
   ASSERT_EQ(env_.completions().size(), 1u);
   EXPECT_EQ(env_.completions()[0].outcome, proto::Outcome::kAcquiredUpdate);
@@ -135,13 +136,14 @@ TEST_F(AdaptiveUnit, UnanimousGrantsAcquireWithoutBroadcast) {
 TEST_F(AdaptiveUnit, SingleRejectReleasesGrantersAndRetries) {
   exhaust_primaries();
   node_->request_channel(4);
-  const cell::ChannelId r = env_.sent_of(net::MsgKind::kRequest)[0].channel;
+  const net::Message rnd = env_.sent_of(net::MsgKind::kRequest)[0];
+  const cell::ChannelId r = rnd.channel;
   env_.clear();
   // First neighbour rejects, the rest grant.
   bool first = true;
   for (const cell::CellId j : in()) {
-    node_->on_message(testutil::mk_response(
-        j, kSelf, first ? net::ResType::kReject : net::ResType::kGrant, r, 4));
+    node_->on_message(testutil::mk_echo_response(
+        rnd, j, first ? net::ResType::kReject : net::ResType::kGrant));
     first = false;
   }
   // The round failed: RELEASE to each granter, then a fresh round starts.
@@ -158,12 +160,10 @@ TEST_F(AdaptiveUnit, AlphaExhaustionFallsBackToSearch) {
   exhaust_primaries();  // params_.alpha == 2
   node_->request_channel(4);
   for (int round = 0; round < 2; ++round) {
-    const auto reqs = env_.sent_of(net::MsgKind::kRequest);
-    const cell::ChannelId r = reqs.back().channel;
+    const net::Message rnd = env_.sent_of(net::MsgKind::kRequest).back();
     env_.clear();
     for (const cell::CellId j : in()) {
-      node_->on_message(
-          testutil::mk_response(j, kSelf, net::ResType::kReject, r, 4));
+      node_->on_message(testutil::mk_echo_response(rnd, j, net::ResType::kReject));
     }
   }
   // After alpha = 2 failed update rounds: a search request to all of IN.
@@ -179,11 +179,10 @@ TEST_F(AdaptiveUnit, SearchSelectsFreeChannelAndAnnounces) {
   node_->request_channel(4);
   // Force straight to search by rejecting alpha rounds.
   for (int round = 0; round < 2; ++round) {
-    const cell::ChannelId r = env_.sent_of(net::MsgKind::kRequest).back().channel;
+    const net::Message rnd = env_.sent_of(net::MsgKind::kRequest).back();
     env_.clear();
     for (const cell::CellId j : in())
-      node_->on_message(
-          testutil::mk_response(j, kSelf, net::ResType::kReject, r, 4));
+      node_->on_message(testutil::mk_echo_response(rnd, j, net::ResType::kReject));
   }
   env_.clear();
   // Neighbours report everything busy except channel 20.
@@ -208,11 +207,10 @@ TEST_F(AdaptiveUnit, FailedSearchStillAnnounces) {
   exhaust_primaries();
   node_->request_channel(4);
   for (int round = 0; round < 2; ++round) {
-    const cell::ChannelId r = env_.sent_of(net::MsgKind::kRequest).back().channel;
+    const net::Message rnd = env_.sent_of(net::MsgKind::kRequest).back();
     env_.clear();
     for (const cell::CellId j : in())
-      node_->on_message(
-          testutil::mk_response(j, kSelf, net::ResType::kReject, r, 4));
+      node_->on_message(testutil::mk_echo_response(rnd, j, net::ResType::kReject));
   }
   env_.clear();
   cell::ChannelSet busy = cell::ChannelSet::all(21) - node_->in_use();
@@ -305,11 +303,10 @@ TEST_F(AdaptiveUnit, SearchingNodeDefersYoungerUpdateRequest) {
   exhaust_primaries();
   node_->request_channel(4);
   for (int round = 0; round < 2; ++round) {
-    const cell::ChannelId r = env_.sent_of(net::MsgKind::kRequest).back().channel;
+    const net::Message rnd = env_.sent_of(net::MsgKind::kRequest).back();
     env_.clear();
     for (const cell::CellId j : in())
-      node_->on_message(
-          testutil::mk_response(j, kSelf, net::ResType::kReject, r, 4));
+      node_->on_message(testutil::mk_echo_response(rnd, j, net::ResType::kReject));
   }
   ASSERT_EQ(node_->mode(), 3);
   env_.clear();
@@ -331,11 +328,10 @@ TEST_F(AdaptiveUnit, SearchingNodeRejectsOlderUpdateRequestForUsedChannel) {
   node_->request_channel(3);
   node_->request_channel(4);  // all primaries used -> borrow rounds begin
   for (int round = 0; round < 2; ++round) {
-    const cell::ChannelId r = env_.sent_of(net::MsgKind::kRequest).back().channel;
+    const net::Message rnd = env_.sent_of(net::MsgKind::kRequest).back();
     env_.clear();
     for (const cell::CellId j : in())
-      node_->on_message(
-          testutil::mk_response(j, kSelf, net::ResType::kReject, r, 4));
+      node_->on_message(testutil::mk_echo_response(rnd, j, net::ResType::kReject));
   }
   ASSERT_EQ(node_->mode(), 3);
   env_.clear();
@@ -429,11 +425,10 @@ TEST_F(AdaptiveUnit, DeferredUpdateRequestAnsweredWhenSearchConcludes) {
   exhaust_primaries();
   node_->request_channel(4);
   for (int round = 0; round < 2; ++round) {
-    const cell::ChannelId r = env_.sent_of(net::MsgKind::kRequest).back().channel;
+    const net::Message rnd = env_.sent_of(net::MsgKind::kRequest).back();
     env_.clear();
     for (const cell::CellId j : in())
-      node_->on_message(
-          testutil::mk_response(j, kSelf, net::ResType::kReject, r, 4));
+      node_->on_message(testutil::mk_echo_response(rnd, j, net::ResType::kReject));
   }
   ASSERT_EQ(node_->mode(), 3);
   // Younger update request for channel 20 arrives mid-search: deferred.
@@ -520,9 +515,10 @@ TEST_F(AdaptiveUnit, StatusSnapshotCannotEraseAPendingGrant) {
 TEST_F(AdaptiveUnit, BorrowedChannelReleaseGoesToWholeRegion) {
   exhaust_primaries();
   node_->request_channel(4);
-  const cell::ChannelId r = env_.sent_of(net::MsgKind::kRequest)[0].channel;
+  const net::Message rnd = env_.sent_of(net::MsgKind::kRequest)[0];
+  const cell::ChannelId r = rnd.channel;
   for (const cell::CellId j : in())
-    node_->on_message(testutil::mk_response(j, kSelf, net::ResType::kGrant, r, 4));
+    node_->on_message(testutil::mk_echo_response(rnd, j, net::ResType::kGrant));
   env_.clear();
   node_->release_channel(r, 4);
   const auto rels = env_.sent_of(net::MsgKind::kRelease);
@@ -549,10 +545,10 @@ TEST_F(AdaptiveUnit, RepackMigratesBorrowedCallOntoFreedPrimary) {
   exhaust_primaries();
   // Borrow a channel via a granted update round.
   node_->request_channel(4);
-  const cell::ChannelId borrowed = env_.sent_of(net::MsgKind::kRequest)[0].channel;
+  const net::Message rnd = env_.sent_of(net::MsgKind::kRequest)[0];
+  const cell::ChannelId borrowed = rnd.channel;
   for (const cell::CellId j : in())
-    node_->on_message(
-        testutil::mk_response(j, kSelf, net::ResType::kGrant, borrowed, 4));
+    node_->on_message(testutil::mk_echo_response(rnd, j, net::ResType::kGrant));
   env_.clear();
   // A primary-holding call ends: repack must fire.
   const cell::ChannelId freed = node_->in_use().first() == borrowed
@@ -580,10 +576,10 @@ TEST_F(AdaptiveUnit, RepackWaitsForOutstandingSearchDecisions) {
   rebuild();
   exhaust_primaries();
   node_->request_channel(4);
-  const cell::ChannelId borrowed = env_.sent_of(net::MsgKind::kRequest)[0].channel;
+  const net::Message rnd = env_.sent_of(net::MsgKind::kRequest)[0];
+  const cell::ChannelId borrowed = rnd.channel;
   for (const cell::CellId j : in())
-    node_->on_message(
-        testutil::mk_response(j, kSelf, net::ResType::kGrant, borrowed, 4));
+    node_->on_message(testutil::mk_echo_response(rnd, j, net::ResType::kGrant));
   // Answer a search: its decision is now outstanding.
   node_->on_message(testutil::mk_search_request(in()[0], kSelf,
                                                 net::Timestamp{1, in()[0]}, 9));
@@ -611,10 +607,10 @@ TEST_F(AdaptiveUnit, RepackWaitsForOutstandingSearchDecisions) {
 TEST_F(AdaptiveUnit, RepackOffByDefault) {
   exhaust_primaries();
   node_->request_channel(4);
-  const cell::ChannelId borrowed = env_.sent_of(net::MsgKind::kRequest)[0].channel;
+  const net::Message rnd = env_.sent_of(net::MsgKind::kRequest)[0];
+  const cell::ChannelId borrowed = rnd.channel;
   for (const cell::CellId j : in())
-    node_->on_message(
-        testutil::mk_response(j, kSelf, net::ResType::kGrant, borrowed, 4));
+    node_->on_message(testutil::mk_echo_response(rnd, j, net::ResType::kGrant));
   env_.clear();
   const cell::ChannelId freed = node_->in_use().first() == borrowed
                                     ? node_->in_use().next_after(borrowed)

@@ -182,7 +182,7 @@ TEST_F(BaselineUnit, UpdateAsksPermissionForOneChannel) {
   EXPECT_TRUE(node.has_pending_attempt());
 
   for (const cell::CellId j : in()) {
-    node.on_message(testutil::mk_response(j, kSelf, net::ResType::kGrant, r, 1));
+    node.on_message(testutil::mk_echo_response(reqs[0], j, net::ResType::kGrant));
   }
   ASSERT_EQ(env_.completions().size(), 1u);
   EXPECT_EQ(env_.completions()[0].channel, r);
@@ -195,14 +195,12 @@ TEST_F(BaselineUnit, UpdateRejectTriggersReleaseAndRetryWithNewTimestamp) {
   proto::BasicUpdateNode node(ctx(), 10);
   node.request_channel(1);
   const auto first = env_.sent_of(net::MsgKind::kRequest);
-  const cell::ChannelId r = first[0].channel;
   const net::Timestamp ts1 = first[0].ts;
   env_.clear();
   bool rejected_one = false;
   for (const cell::CellId j : in()) {
-    node.on_message(testutil::mk_response(
-        j, kSelf, rejected_one ? net::ResType::kGrant : net::ResType::kReject, r,
-        1));
+    node.on_message(testutil::mk_echo_response(
+        first[0], j, rejected_one ? net::ResType::kGrant : net::ResType::kReject));
     rejected_one = true;
   }
   const auto rels = env_.sent_of(net::MsgKind::kRelease);
@@ -216,10 +214,10 @@ TEST_F(BaselineUnit, UpdateReceiverGrantsIdleRejectsBusy) {
   proto::BasicUpdateNode node(ctx(), 10);
   // Occupy a channel first.
   node.request_channel(1);
-  const cell::ChannelId mine =
-      env_.sent_of(net::MsgKind::kRequest)[0].channel;
+  const net::Message rnd = env_.sent_of(net::MsgKind::kRequest)[0];
+  const cell::ChannelId mine = rnd.channel;
   for (const cell::CellId j : in())
-    node.on_message(testutil::mk_response(j, kSelf, net::ResType::kGrant, mine, 1));
+    node.on_message(testutil::mk_echo_response(rnd, j, net::ResType::kGrant));
   env_.clear();
   node.on_message(testutil::mk_update_request(in()[0], kSelf, mine,
                                               net::Timestamp{1, in()[0]}, 9));
@@ -238,7 +236,8 @@ TEST_F(BaselineUnit, UpdateReceiverGrantsIdleRejectsBusy) {
 TEST_F(BaselineUnit, UpdateSameChannelConflictYoungerAborts) {
   proto::BasicUpdateNode node(ctx(), 10);
   node.request_channel(1);
-  const cell::ChannelId r = env_.sent_of(net::MsgKind::kRequest)[0].channel;
+  const net::Message rnd = env_.sent_of(net::MsgKind::kRequest)[0];
+  const cell::ChannelId r = rnd.channel;
   env_.clear();
   // An OLDER request for the same channel arrives: we grant and abort.
   node.on_message(
@@ -251,7 +250,7 @@ TEST_F(BaselineUnit, UpdateSameChannelConflictYoungerAborts) {
   // Our own responses come back all-grant, but the attempt was aborted:
   // the node must retry (with a different channel), not acquire r.
   for (const cell::CellId j : in()) {
-    node.on_message(testutil::mk_response(j, kSelf, net::ResType::kGrant, r, 1));
+    node.on_message(testutil::mk_echo_response(rnd, j, net::ResType::kGrant));
   }
   EXPECT_TRUE(env_.completions().empty());
   const auto retry = env_.sent_of(net::MsgKind::kRequest);
@@ -263,10 +262,10 @@ TEST_F(BaselineUnit, UpdateStarvesAtAttemptCap) {
   proto::BasicUpdateNode node(ctx(), 2);
   node.request_channel(1);
   for (int round = 0; round < 2; ++round) {
-    const cell::ChannelId r = env_.sent_of(net::MsgKind::kRequest).back().channel;
+    const net::Message rnd = env_.sent_of(net::MsgKind::kRequest).back();
     env_.clear();
     for (const cell::CellId j : in())
-      node.on_message(testutil::mk_response(j, kSelf, net::ResType::kReject, r, 1));
+      node.on_message(testutil::mk_echo_response(rnd, j, net::ResType::kReject));
   }
   ASSERT_EQ(env_.completions().size(), 1u);
   EXPECT_EQ(env_.completions()[0].outcome, proto::Outcome::kBlockedStarved);

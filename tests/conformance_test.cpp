@@ -1,0 +1,231 @@
+// Trace-based conformance: every scheme's recorded run must satisfy the
+// paper's invariants (reuse-distance exclusivity, timestamp-ordered
+// search sequencing, lifecycle hygiene, terminal cleanliness) — fault
+// free and under the fault cocktail — and the checker itself must catch
+// seeded bugs (mutated traces) rather than vacuously pass.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "runner/conformance.hpp"
+#include "runner/experiment.hpp"
+#include "sim/trace.hpp"
+
+namespace dca {
+namespace {
+
+using runner::ConformanceReport;
+using runner::Scheme;
+using sim::TraceEvent;
+using sim::TraceKind;
+
+runner::ScenarioConfig base_config() {
+  runner::ScenarioConfig cfg;
+  cfg.rows = 5;
+  cfg.cols = 5;
+  cfg.n_channels = 35;
+  cfg.duration = sim::minutes(3);
+  cfg.warmup = sim::seconds(30);
+  cfg.seed = 5;
+  return cfg;
+}
+
+struct Checked {
+  ConformanceReport report;
+  runner::RunResult result;
+};
+
+Checked run_checked(const runner::ScenarioConfig& cfg, Scheme s, double rho) {
+  sim::TraceRecorder rec;
+  Checked out;
+  out.result = runner::run_uniform(cfg, s, rho, &rec);
+  const cell::HexGrid grid(cfg.rows, cfg.cols, cfg.interference_radius, cfg.wrap);
+  out.report = runner::check_trace(grid, cfg.n_channels, rec.events());
+  return out;
+}
+
+constexpr Scheme kDcaSchemes[] = {Scheme::kBasicSearch, Scheme::kBasicUpdate,
+                                  Scheme::kAdvancedUpdate, Scheme::kAdvancedSearch,
+                                  Scheme::kAdaptive};
+
+TEST(Conformance, AllSchemesCleanFaultFree) {
+  const runner::ScenarioConfig cfg = base_config();
+  for (const Scheme s : kDcaSchemes) {
+    for (const double rho : {0.4, 1.1}) {
+      const Checked c = run_checked(cfg, s, rho);
+      EXPECT_TRUE(c.report.ok())
+          << runner::scheme_name(s) << " rho " << rho << ": "
+          << c.report.to_string();
+      EXPECT_TRUE(c.report.saw_run_end);
+      EXPECT_EQ(c.report.timeouts, 0u)
+          << "no timers may fire in a fault-free run";
+      EXPECT_GT(c.report.events, 0u);
+    }
+  }
+}
+
+TEST(Conformance, AllSchemesCleanUnderFaults) {
+  runner::ScenarioConfig cfg = base_config();
+  cfg.fault.drop_prob = 0.05;
+  cfg.fault.dup_prob = 0.03;
+  cfg.fault.jitter = sim::milliseconds(2);
+  cfg.fault.pause_rate_per_min = 0.3;
+  cfg.fault.pause_mean_s = 1.0;
+  cfg.request_timeout = sim::milliseconds(400);
+  for (const Scheme s : kDcaSchemes) {
+    for (const double rho : {0.4, 1.1}) {
+      const Checked c = run_checked(cfg, s, rho);
+      // Timeout aborts are the one permitted anomaly under faults; actual
+      // invariant violations (reuse, leaks, wedged calls) never are.
+      EXPECT_TRUE(c.report.ok())
+          << runner::scheme_name(s) << " rho " << rho << ": "
+          << c.report.to_string();
+      EXPECT_TRUE(c.result.quiescent);
+    }
+  }
+}
+
+TEST(Conformance, AdaptiveSevenBySevenWithDropsHasNoViolationsOrWedgedCalls) {
+  // The headline acceptance scenario: 49 cells, 5% frame loss, adaptive.
+  runner::ScenarioConfig cfg;
+  cfg.rows = 7;
+  cfg.cols = 7;
+  cfg.duration = sim::minutes(4);
+  cfg.warmup = sim::seconds(60);
+  cfg.fault.drop_prob = 0.05;
+  cfg.request_timeout = sim::milliseconds(500);
+  const Checked c = run_checked(cfg, Scheme::kAdaptive, 0.6);
+  EXPECT_TRUE(c.report.ok()) << c.report.to_string();
+  EXPECT_TRUE(c.result.quiescent) << "no wedged calls allowed";
+  EXPECT_GT(c.result.transport.frames_dropped, 0u);
+}
+
+// -- seeded-bug detection -----------------------------------------------
+
+bool flags_rule(const ConformanceReport& r, const std::string& rule) {
+  return std::any_of(r.violations.begin(), r.violations.end(),
+                     [&](const auto& v) { return v.rule == rule; });
+}
+
+TraceEvent ev(TraceKind k, sim::SimTime t, std::int32_t cellId,
+              std::int32_t ch = -1, std::uint64_t serial = 0) {
+  TraceEvent e;
+  e.kind = k;
+  e.t = t;
+  e.cell = cellId;
+  e.channel = ch;
+  e.serial = serial;
+  return e;
+}
+
+TEST(ConformanceDetects, ReuseDistanceConflict) {
+  // Cells 0 and 1 are adjacent (well within radius 2) yet hold channel 5
+  // simultaneously — the exact bug a broken reuse check would let through.
+  const cell::HexGrid grid(3, 3, 2);
+  std::vector<TraceEvent> trace{
+      ev(TraceKind::kRequest, 10, 0, -1, 1),
+      ev(TraceKind::kAcquire, 20, 0, 5, 1),
+      ev(TraceKind::kRequest, 30, 1, -1, 2),
+      ev(TraceKind::kAcquire, 40, 1, 5, 2),
+  };
+  const ConformanceReport r = runner::check_trace(grid, 10, trace);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(flags_rule(r, "reuse-distance")) << r.to_string();
+}
+
+TEST(ConformanceDetects, LeakedChannelAfterMissingRelease) {
+  // A real adaptive run, then mutate: drop the final release — as if
+  // teardown forgot to return the channel.
+  runner::ScenarioConfig cfg = base_config();
+  cfg.duration = sim::minutes(1);
+  cfg.warmup = 0;
+  sim::TraceRecorder rec;
+  (void)runner::run_uniform(cfg, Scheme::kAdaptive, 0.5, &rec);
+  std::vector<TraceEvent> trace = rec.events();
+  const auto last_release =
+      std::find_if(trace.rbegin(), trace.rend(), [](const TraceEvent& e) {
+        return e.kind == TraceKind::kRelease;
+      });
+  ASSERT_NE(last_release, trace.rend());
+  trace.erase(std::next(last_release).base());
+
+  const cell::HexGrid grid(cfg.rows, cfg.cols, cfg.interference_radius, cfg.wrap);
+  const ConformanceReport r = runner::check_trace(grid, cfg.n_channels, trace);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(flags_rule(r, "leaked-channel")) << r.to_string();
+}
+
+TEST(ConformanceDetects, WedgedCallAndDoubleAcquire) {
+  const cell::HexGrid grid(3, 3, 2);
+  std::vector<TraceEvent> trace{
+      ev(TraceKind::kRequest, 10, 0, -1, 1),  // never resolved -> wedged
+      ev(TraceKind::kRequest, 20, 4, -1, 2),
+      ev(TraceKind::kAcquire, 30, 4, 2, 2),
+      ev(TraceKind::kAcquire, 40, 4, 2, 2),  // double acquire
+  };
+  const ConformanceReport r = runner::check_trace(grid, 10, trace);
+  EXPECT_TRUE(flags_rule(r, "wedged-call")) << r.to_string();
+  EXPECT_TRUE(flags_rule(r, "double-acquire")) << r.to_string();
+}
+
+TEST(ConformanceDetects, SearchConcludingOutOfTimestampOrder) {
+  // Two interfering searches; the younger (higher Lamport ts) concludes
+  // first while the older is still open — forbidden by the deferral rule.
+  const cell::HexGrid grid(3, 3, 2);
+  std::vector<TraceEvent> trace{
+      ev(TraceKind::kRequest, 10, 0, -1, 1),
+      ev(TraceKind::kRequest, 10, 1, -1, 2),
+  };
+  TraceEvent s0 = ev(TraceKind::kSearchStart, 20, 0, -1, 1);
+  s0.a = 5;  // older timestamp
+  s0.b = 0;
+  TraceEvent s1 = ev(TraceKind::kSearchStart, 20, 1, -1, 2);
+  s1.a = 9;  // younger timestamp
+  s1.b = 1;
+  TraceEvent d1 = ev(TraceKind::kSearchDecide, 30, 1, 3, 2);
+  d1.a = 1;  // success while the older search is still undecided
+  trace.push_back(s0);
+  trace.push_back(s1);
+  trace.push_back(d1);
+  const ConformanceReport r = runner::check_trace(grid, 10, trace);
+  EXPECT_TRUE(flags_rule(r, "search-order")) << r.to_string();
+}
+
+TEST(ConformanceDetects, NonQuiescentRunEnd) {
+  const cell::HexGrid grid(3, 3, 2);
+  TraceEvent end = ev(TraceKind::kRunEnd, 100, -1);
+  end.a = 0;  // run_to_quiescence failed
+  const ConformanceReport r = runner::check_trace(grid, 10, {end});
+  EXPECT_TRUE(flags_rule(r, "not-quiescent")) << r.to_string();
+}
+
+// -- JSONL round trip ----------------------------------------------------
+
+TEST(TraceJsonl, RoundTripsARealTrace) {
+  runner::ScenarioConfig cfg = base_config();
+  cfg.duration = sim::minutes(1);
+  cfg.fault.drop_prob = 0.05;
+  cfg.request_timeout = sim::milliseconds(400);
+  sim::TraceRecorder rec;
+  (void)runner::run_uniform(cfg, Scheme::kAdaptive, 0.7, &rec);
+  ASSERT_GT(rec.size(), 0u);
+
+  const std::string jsonl = runner::trace_to_jsonl(rec.events());
+  std::vector<TraceEvent> parsed;
+  std::string error;
+  ASSERT_TRUE(runner::trace_from_jsonl(jsonl, parsed, error)) << error;
+  EXPECT_EQ(parsed, rec.events());
+}
+
+TEST(TraceJsonl, RejectsMalformedLines) {
+  std::vector<TraceEvent> parsed;
+  std::string error;
+  EXPECT_FALSE(runner::trace_from_jsonl("{\"k\":\"nonsense\",\"t\":0}", parsed,
+                                        error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace dca

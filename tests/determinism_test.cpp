@@ -1,0 +1,94 @@
+// Determinism regression: results are a pure function of the scenario —
+// independent of worker thread count, and bit-identically replayable even
+// with the full fault cocktail active (the fault schedule derives from
+// the seed, not from host scheduling).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runner/experiment.hpp"
+#include "sim/trace.hpp"
+
+namespace dca {
+namespace {
+
+using runner::RunResult;
+using runner::Scheme;
+
+runner::ScenarioConfig small_config() {
+  runner::ScenarioConfig cfg;
+  cfg.rows = 5;
+  cfg.cols = 5;
+  cfg.n_channels = 35;
+  cfg.duration = sim::minutes(3);
+  cfg.warmup = sim::seconds(30);
+  cfg.seed = 11;
+  return cfg;
+}
+
+void expect_same_result(const RunResult& a, const RunResult& b,
+                        const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.agg.offered, b.agg.offered);
+  EXPECT_EQ(a.agg.acquired, b.agg.acquired);
+  EXPECT_EQ(a.agg.blocked, b.agg.blocked);
+  EXPECT_EQ(a.agg.starved, b.agg.starved);
+  EXPECT_EQ(a.agg.timed_out, b.agg.timed_out);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.executed_events, b.executed_events);
+  EXPECT_EQ(a.offered_calls, b.offered_calls);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.carried_erlangs, b.carried_erlangs);  // bit-exact, not near
+  EXPECT_EQ(a.agg.delay_in_T.mean(), b.agg.delay_in_T.mean());
+  EXPECT_EQ(a.transport, b.transport);
+}
+
+TEST(Determinism, SweepIsThreadCountInvariant) {
+  const runner::ScenarioConfig cfg = small_config();
+  const std::vector<Scheme> schemes{Scheme::kBasicSearch, Scheme::kBasicUpdate,
+                                    Scheme::kAdaptive};
+  const std::vector<double> rhos{0.5, 1.0};
+  const auto serial = runner::sweep_uniform(cfg, schemes, rhos, /*threads=*/1);
+  const auto parallel = runner::sweep_uniform(cfg, schemes, rhos, /*threads=*/8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].scheme, parallel[i].scheme);
+    ASSERT_EQ(serial[i].rho, parallel[i].rho);
+    expect_same_result(serial[i].result, parallel[i].result,
+                       runner::scheme_name(serial[i].scheme).c_str());
+  }
+}
+
+TEST(Determinism, FaultInjectedRunReplaysBitIdentically) {
+  runner::ScenarioConfig cfg = small_config();
+  cfg.fault.drop_prob = 0.08;
+  cfg.fault.dup_prob = 0.05;
+  cfg.fault.jitter = sim::milliseconds(3);
+  cfg.fault.pause_rate_per_min = 0.5;
+  cfg.fault.pause_mean_s = 1.0;
+  cfg.request_timeout = sim::milliseconds(400);
+
+  for (const Scheme s : {Scheme::kBasicSearch, Scheme::kAdaptive}) {
+    sim::TraceRecorder rec_a, rec_b;
+    const RunResult a = runner::run_uniform(cfg, s, 0.8, &rec_a);
+    const RunResult b = runner::run_uniform(cfg, s, 0.8, &rec_b);
+    expect_same_result(a, b, runner::scheme_name(s).c_str());
+    EXPECT_GT(rec_a.size(), 0u);
+    EXPECT_GT(a.transport.frames_dropped, 0u) << "faults should be active";
+    EXPECT_EQ(rec_a.events(), rec_b.events())
+        << runner::scheme_name(s) << ": full event traces must be identical";
+  }
+}
+
+TEST(Determinism, TracingItselfDoesNotPerturbTheRun) {
+  runner::ScenarioConfig cfg = small_config();
+  cfg.fault.drop_prob = 0.05;
+  cfg.request_timeout = sim::milliseconds(400);
+  sim::TraceRecorder rec;
+  const RunResult traced = runner::run_uniform(cfg, Scheme::kAdaptive, 0.8, &rec);
+  const RunResult plain = runner::run_uniform(cfg, Scheme::kAdaptive, 0.8);
+  expect_same_result(traced, plain, "traced vs untraced");
+}
+
+}  // namespace
+}  // namespace dca

@@ -111,5 +111,43 @@ TEST(FuzzScenario, RandomConfigurationsReplayDeterministically) {
   }
 }
 
+/// Layers a random fault cocktail (and the request timeout it requires)
+/// on top of a base scenario draw.
+RandomScenario draw_faulty(sim::RngStream& rng) {
+  RandomScenario s = draw(rng);
+  s.cfg.fault.drop_prob = rng.bernoulli(0.7) ? rng.uniform(0.0, 0.25) : 0.0;
+  s.cfg.fault.dup_prob = rng.bernoulli(0.5) ? rng.uniform(0.0, 0.3) : 0.0;
+  if (rng.bernoulli(0.5))
+    s.cfg.fault.jitter = rng.uniform_int(100, 10'000);  // up to 10 ms
+  if (rng.bernoulli(0.4)) {
+    s.cfg.fault.pause_rate_per_min = rng.uniform(0.1, 1.5);
+    s.cfg.fault.pause_mean_s = rng.uniform(0.2, 2.0);
+  }
+  // Timers are mandatory with pauses and sensible with any fault: long
+  // enough that fault-free handshakes never trip them spuriously.
+  s.cfg.request_timeout = rng.uniform_int(200'000, 1'500'000);  // 0.2..1.5 s
+  return s;
+}
+
+TEST(FuzzScenario, FaultCocktailNeverBreaksInvariantsOrQuiescence) {
+  sim::RngStream rng(0xFA017);
+  for (int trial = 0; trial < 60; ++trial) {
+    const RandomScenario s = draw_faulty(rng);
+    const RunResult r = runner::run_uniform(s.cfg, s.scheme, s.rho);
+    SCOPED_TRACE(testing::Message()
+                 << "trial " << trial << " scheme "
+                 << runner::scheme_name(s.scheme) << " grid " << s.cfg.rows << "x"
+                 << s.cfg.cols << " channels " << s.cfg.n_channels << " drop "
+                 << s.cfg.fault.drop_prob << " dup " << s.cfg.fault.dup_prob
+                 << " jitter " << s.cfg.fault.jitter << " pause "
+                 << s.cfg.fault.pause_rate_per_min << "/min seed "
+                 << s.cfg.seed);
+    EXPECT_EQ(r.violations, 0u);
+    EXPECT_TRUE(r.quiescent) << "faults may delay or abort calls, never wedge them";
+    EXPECT_EQ(r.agg.offered,
+              r.agg.acquired + r.agg.blocked + r.agg.starved + r.agg.timed_out);
+  }
+}
+
 }  // namespace
 }  // namespace dca

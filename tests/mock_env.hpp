@@ -126,7 +126,7 @@ inline net::Message mk_update_request(cell::CellId from, cell::CellId to,
 
 inline net::Message mk_response(cell::CellId from, cell::CellId to,
                                 net::ResType type, cell::ChannelId r,
-                                std::uint64_t serial) {
+                                std::uint64_t serial, std::uint64_t wave = 0) {
   net::Message m;
   m.kind = net::MsgKind::kResponse;
   m.res_type = type;
@@ -134,6 +134,22 @@ inline net::Message mk_response(cell::CellId from, cell::CellId to,
   m.from = from;
   m.to = to;
   m.serial = serial;
+  m.wave = wave;
+  return m;
+}
+
+/// Echo a grant/reject for an outgoing update REQUEST, the way a real
+/// responder would: same serial, same channel, same round (wave) tag.
+inline net::Message mk_echo_response(const net::Message& request,
+                                     cell::CellId from, net::ResType type) {
+  net::Message m;
+  m.kind = net::MsgKind::kResponse;
+  m.res_type = type;
+  m.channel = request.channel;
+  m.from = from;
+  m.to = request.from;
+  m.serial = request.serial;
+  m.wave = request.wave;
   return m;
 }
 

@@ -16,6 +16,7 @@
 #include "metrics/table.hpp"
 #include "runner/cli.hpp"
 #include "runner/config_file.hpp"
+#include "runner/conformance.hpp"
 #include "runner/experiment.hpp"
 #include "runner/world.hpp"
 #include "traffic/generator.hpp"
@@ -69,7 +70,15 @@ int main(int argc, char** argv) {
       .add_double("window-s", 30.0, "adaptive: NFC prediction window [s]")
       .add_flag("repack", "adaptive: migrate borrowed calls onto freed primaries")
       .add_int("max-attempts", 10, "update-family retry cap")
+      .add_double("drop-prob", 0.0, "fault: per-frame drop probability [0,0.9]")
+      .add_double("dup-prob", 0.0, "fault: per-frame duplication probability")
+      .add_double("fault-jitter-ms", 0.0, "fault: extra per-frame jitter [ms]")
+      .add_double("pause-rate", 0.0, "fault: MSS pauses per minute per cell")
+      .add_double("pause-mean-s", 0.0, "fault: mean MSS pause length [s]")
+      .add_double("timeout-ms", 0.0, "protocol request timeout (0 = no timers)")
       .add_string("config", "", "scenario file applied before other options")
+      .add_string("trace", "", "write the structured event trace (JSONL) here")
+      .add_flag("conformance", "check the trace against the paper's invariants")
       .add_flag("dump-config", "print the effective scenario file and exit")
       .add_flag("csv", "emit CSV instead of an aligned table")
       .add_flag("json", "emit a JSON array of result objects");
@@ -132,6 +141,14 @@ int main(int argc, char** argv) {
     cfg.adaptive.window = sim::from_seconds(args.get_double("window-s"));
   if (no_file || args.was_set("repack"))
     cfg.adaptive.repack = args.get_flag("repack");
+  if (use("drop-prob")) cfg.fault.drop_prob = args.get_double("drop-prob");
+  if (use("dup-prob")) cfg.fault.dup_prob = args.get_double("dup-prob");
+  if (use("fault-jitter-ms"))
+    cfg.fault.jitter = sim::from_seconds(args.get_double("fault-jitter-ms") / 1000.0);
+  if (use("pause-rate")) cfg.fault.pause_rate_per_min = args.get_double("pause-rate");
+  if (use("pause-mean-s")) cfg.fault.pause_mean_s = args.get_double("pause-mean-s");
+  if (use("timeout-ms"))
+    cfg.request_timeout = sim::from_seconds(args.get_double("timeout-ms") / 1000.0);
 
   if (const std::string problem = runner::validate_scenario(cfg); !problem.empty()) {
     std::fprintf(stderr, "dcasim: invalid scenario: %s\n", problem.c_str());
@@ -162,6 +179,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "dcasim: --seeds replication currently supports the uniform "
                  "profile only\n");
+    return 2;
+  }
+  const std::string trace_path = args.get_string("trace");
+  const bool conformance = args.get_flag("conformance");
+  if ((conformance || !trace_path.empty()) && n_seeds > 1) {
+    std::fprintf(stderr,
+                 "dcasim: --trace/--conformance need a single run per scheme "
+                 "(drop --seeds)\n");
     return 2;
   }
 
@@ -204,13 +229,38 @@ int main(int argc, char** argv) {
       continue;
     }
     runner::RunResult r;
+    sim::TraceRecorder rec;
+    sim::TraceRecorder* trace =
+        (conformance || !trace_path.empty()) ? &rec : nullptr;
     if (hotspot) {
       cell::CellId hot = static_cast<cell::CellId>(args.get_int("hot-cell"));
       if (hot < 0) hot = (cfg.rows / 2) * cfg.cols + cfg.cols / 2;
       r = runner::run_hotspot(cfg, s, rho, args.get_double("hot-factor"),
-                              cfg.warmup, cfg.duration, {hot});
+                              cfg.warmup, cfg.duration, {hot}, trace);
     } else {
-      r = runner::run_uniform(cfg, s, rho);
+      r = runner::run_uniform(cfg, s, rho, trace);
+    }
+    if (!trace_path.empty()) {
+      // One file per scheme; the scheme name is appended when several run.
+      std::string path = trace_path;
+      if (schemes.size() > 1) path += "." + runner::scheme_name(s);
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "dcasim: cannot write %s\n", path.c_str());
+        return 2;
+      }
+      const std::string jsonl = runner::trace_to_jsonl(rec.events());
+      std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+      std::fclose(f);
+    }
+    if (conformance) {
+      const cell::HexGrid grid(cfg.rows, cfg.cols, cfg.interference_radius,
+                               cfg.wrap);
+      const runner::ConformanceReport rep =
+          runner::check_trace(grid, cfg.n_channels, rec.events());
+      std::fprintf(stderr, "%s: conformance: %s\n",
+                   runner::scheme_name(s).c_str(), rep.to_string().c_str());
+      if (!rep.ok()) return 1;
     }
     char xi[48];
     std::snprintf(xi, sizeof xi, "%.2f/%.2f/%.2f", r.agg.xi1, r.agg.xi2,
