@@ -1,0 +1,171 @@
+// Engine throughput benchmark: the sharded deterministic-parallel kernel
+// against the classic single-queue engine on a large fixed-seed scenario.
+//
+// Emits BENCH_engine.json with wall-clock and events/sec per scheme at
+// shards=1 and shards=N so the performance trajectory is tracked run over
+// run, and finishes with a ConformanceChecker pass over the merged
+// sharded trace (the speedup is worthless if the merge is wrong).
+//
+// The scenario is chosen for event density rather than paper fidelity:
+// short holding times at high load on a large grid keep every cell's
+// queue busy, so the per-window parallelism is real work, not idle
+// barriers.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "metrics/json.hpp"
+#include "runner/conformance.hpp"
+#include "runner/experiment.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using dca::runner::RunResult;
+using dca::runner::Scheme;
+
+dca::runner::ScenarioConfig bench_config() {
+  dca::runner::ScenarioConfig c;
+  c.rows = 16;
+  c.cols = 16;
+  c.interference_radius = 2;
+  c.n_channels = 70;
+  c.cluster = 7;
+  c.mean_holding_s = 5.0;  // short calls => high event density
+  c.latency = dca::sim::milliseconds(5);
+  c.seed = 7;
+  c.duration = dca::sim::minutes(2);
+  c.warmup = dca::sim::seconds(10);
+  return c;
+}
+
+struct Measurement {
+  std::string scheme;
+  int shards = 1;
+  int threads = 1;
+  double wall_s = 0.0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+};
+
+Measurement measure(const dca::runner::ScenarioConfig& cfg, Scheme scheme,
+                    const std::string& name, double rho) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunResult r = dca::runner::run_uniform(cfg, scheme, rho);
+  const auto t1 = std::chrono::steady_clock::now();
+  Measurement m;
+  m.scheme = name;
+  m.shards = cfg.shards;
+  m.threads = cfg.threads;
+  m.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  m.events = r.executed_events;
+  m.events_per_sec = m.wall_s > 0 ? static_cast<double>(m.events) / m.wall_s : 0;
+  std::printf("  %-14s shards=%d threads=%d  %9.3f s  %12llu events  %12.0f ev/s\n",
+              name.c_str(), m.shards, m.threads, m.wall_s,
+              static_cast<unsigned long long>(m.events), m.events_per_sec);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int shards_n = 4;
+  if (argc > 1) shards_n = std::atoi(argv[1]);
+  if (shards_n < 2) shards_n = 2;
+  const double rho = 0.9;
+
+  dca::benchutil::heading("engine throughput: classic vs sharded");
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u, sharded run uses shards=%d\n\n", hw, shards_n);
+
+  const struct {
+    Scheme scheme;
+    const char* name;
+  } kSchemes[] = {
+      {Scheme::kAdaptive, "adaptive"},
+      {Scheme::kBasicSearch, "basic_search"},
+  };
+
+  std::vector<Measurement> results;
+  for (const auto& s : kSchemes) {
+    dca::runner::ScenarioConfig c1 = bench_config();
+    c1.shards = 1;
+    results.push_back(measure(c1, s.scheme, s.name, rho));
+
+    dca::runner::ScenarioConfig cn = bench_config();
+    cn.shards = shards_n;
+    cn.threads = 0;  // one worker per shard, capped by the hardware
+    results.push_back(measure(cn, s.scheme, s.name, rho));
+
+    const double base = results[results.size() - 2].events_per_sec;
+    const double par = results.back().events_per_sec;
+    std::printf("  %-14s speedup: %.2fx\n\n", s.name,
+                base > 0 ? par / base : 0.0);
+  }
+
+  // Determinism sanity for the record: events/sec means nothing if the
+  // sharded engine diverged. The merged trace must satisfy every
+  // conformance invariant (incl. reuse-distance, which substitutes for
+  // the cross-shard half of the online Theorem-1 check).
+  dca::benchutil::heading("conformance of the merged sharded trace");
+  dca::runner::ScenarioConfig cc = bench_config();
+  cc.shards = shards_n;
+  dca::sim::TraceRecorder rec;
+  const RunResult traced =
+      dca::runner::run_uniform(cc, Scheme::kAdaptive, rho, &rec);
+  const dca::cell::HexGrid grid(cc.rows, cc.cols, cc.interference_radius,
+                                cc.wrap);
+  const auto report =
+      dca::runner::check_trace(grid, cc.n_channels, rec.events());
+  std::printf("events=%llu quiescent=%d -> %s\n",
+              static_cast<unsigned long long>(report.events),
+              traced.quiescent ? 1 : 0,
+              report.ok() ? "OK" : report.to_string().c_str());
+
+  dca::metrics::JsonWriter w;
+  w.begin_object();
+  w.key("bench");
+  w.value("engine");
+  w.key("hardware_threads");
+  w.value(static_cast<std::int64_t>(hw));
+  w.key("rho");
+  w.value(rho);
+  w.key("conformance_ok");
+  w.value(report.ok());
+  w.key("results");
+  w.begin_array();
+  for (const auto& m : results) {
+    w.begin_object();
+    w.key("scheme");
+    w.value(m.scheme);
+    w.key("shards");
+    w.value(m.shards);
+    w.key("threads");
+    w.value(m.threads);
+    w.key("wall_s");
+    w.value(m.wall_s);
+    w.key("events");
+    w.value(m.events);
+    w.key("events_per_sec");
+    w.value(m.events_per_sec);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  const std::string json = w.str();
+  if (FILE* f = std::fopen("BENCH_engine.json", "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_engine.json\n");
+  } else {
+    std::fprintf(stderr, "engine_bench: cannot write BENCH_engine.json\n");
+    return 1;
+  }
+  return report.ok() ? 0 : 1;
+}

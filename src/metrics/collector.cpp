@@ -23,21 +23,25 @@ void Collector::on_message(const net::Message& msg) {
     ++unattributed_;
     return;
   }
-  const auto it = open_.find(msg.serial);
+  bill(msg.serial, msg.kind);
+}
+
+void Collector::bill(std::uint64_t serial, net::MsgKind kind) {
+  const auto it = open_.find(serial);
   if (it == open_.end()) {
     // Billed to an already-closed acquisition (e.g. the end-of-call
     // RELEASE): attribute to the closed record if still reachable, else
     // count as unattributed. A linear search of closed_ would be O(n);
     // instead keep a side index from serial -> closed slot.
-    const auto ci = closed_index_.find(msg.serial);
+    const auto ci = closed_index_.find(serial);
     if (ci == closed_index_.end()) {
       ++unattributed_;
       return;
     }
-    ++closed_[ci->second].messages[static_cast<std::size_t>(msg.kind)];
+    ++closed_[ci->second].messages[static_cast<std::size_t>(kind)];
     return;
   }
-  ++it->second.messages[static_cast<std::size_t>(msg.kind)];
+  ++it->second.messages[static_cast<std::size_t>(kind)];
 }
 
 void Collector::close(std::uint64_t serial, sim::SimTime now, proto::Outcome outcome,
@@ -56,6 +60,11 @@ void Collector::close(std::uint64_t serial, sim::SimTime now, proto::Outcome out
 }
 
 Aggregate Collector::aggregate(sim::Duration T, sim::SimTime warmup) const {
+  return aggregate_records(closed_, T, warmup);
+}
+
+Aggregate aggregate_records(const std::vector<CallRecord>& records,
+                            sim::Duration T, sim::SimTime warmup) {
   Aggregate a;
   std::uint64_t n_local = 0, n_update = 0, n_search = 0;
   double sum_attempts_update = 0.0;
@@ -63,7 +72,7 @@ Aggregate Collector::aggregate(sim::Duration T, sim::SimTime warmup) const {
   double sum_searching = 0.0;
   std::uint64_t n_search_samples = 0;
 
-  for (const CallRecord& r : closed_) {
+  for (const CallRecord& r : records) {
     if (r.t_request < warmup) continue;
     ++a.offered;
     if (r.is_handoff) ++a.handoff_offered;

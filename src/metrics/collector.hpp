@@ -80,6 +80,17 @@ struct Aggregate {
   }
 };
 
+/// Aggregates a sequence of closed call records. This is the single
+/// source of truth for Aggregate: Collector::aggregate delegates here, and
+/// the sharded engine calls it directly on the canonically-merged record
+/// vector, so a merged multi-shard run reduces through the *same* code
+/// (and the same floating-point accumulation order) as a one-shard run.
+/// `T` is the latency bound for delay_in_T; records with t_request <
+/// `warmup` are discarded.
+[[nodiscard]] Aggregate aggregate_records(const std::vector<CallRecord>& records,
+                                          sim::Duration T,
+                                          sim::SimTime warmup = 0);
+
 class Collector {
  public:
   /// Opens the record for an issued request.
@@ -88,6 +99,10 @@ class Collector {
 
   /// Network observer: bills the message to its serial (if open).
   void on_message(const net::Message& msg);
+
+  /// Bills one message of `kind` to `serial` directly — the sharded
+  /// engine's path for applying foreign-shard billing logs at merge time.
+  void bill(std::uint64_t serial, net::MsgKind kind);
 
   /// Closes the record at the decision instant. `borrowing_neighbors` /
   /// `searching_neighbors` are environment samples taken by the runner.

@@ -35,6 +35,16 @@ class Histogram {
     return width_ * static_cast<double>(i);
   }
 
+  /// Exact merge of another histogram with identical geometry (same bin
+  /// width and count); used to combine per-shard histograms. Addition of
+  /// integer counts is order-independent, so the merged histogram is
+  /// bit-identical to one filled by a single-shard run.
+  void merge(const Histogram& other) {
+    assert(width_ == other.width_ && counts_.size() == other.counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+  }
+
   /// ASCII rendering for report output; `cols` = max bar width.
   [[nodiscard]] std::string render(int cols = 50) const {
     std::uint64_t peak = 1;

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <memory>
 #include <utility>
@@ -37,6 +38,14 @@ class LatencyModel {
 
   /// Upper bound T on one-way latency (the paper's T).
   [[nodiscard]] virtual sim::Duration max_one_way() const = 0;
+
+  /// Lower bound on one-way latency — the latency *floor*. The sharded
+  /// engine uses this as its conservative lookahead: no message can cross
+  /// shards in less simulated time. Defaults to the upper bound, which is
+  /// always a valid (if pessimistic) floor for deterministic models.
+  [[nodiscard]] virtual sim::Duration min_one_way() const {
+    return max_one_way();
+  }
 };
 
 class FixedLatency final : public LatencyModel {
@@ -44,6 +53,7 @@ class FixedLatency final : public LatencyModel {
   explicit FixedLatency(sim::Duration t) : t_(t) {}
   sim::Duration delay(cell::CellId, cell::CellId) override { return t_; }
   [[nodiscard]] sim::Duration max_one_way() const override { return t_; }
+  [[nodiscard]] sim::Duration min_one_way() const override { return t_; }
 
  private:
   sim::Duration t_;
@@ -58,6 +68,7 @@ class JitterLatency final : public LatencyModel {
     return rng_.uniform_int(lo_, hi_);
   }
   [[nodiscard]] sim::Duration max_one_way() const override { return hi_; }
+  [[nodiscard]] sim::Duration min_one_way() const override { return lo_; }
 
  private:
   sim::Duration lo_;
@@ -73,6 +84,7 @@ class MatrixLatency final : public LatencyModel {
   void set(cell::CellId from, cell::CellId to, sim::Duration d) {
     overrides_[{from, to}] = d;
     max_ = std::max(max_, d);
+    min_ = std::min(min_, d);
   }
 
   sim::Duration delay(cell::CellId from, cell::CellId to) override {
@@ -82,10 +94,14 @@ class MatrixLatency final : public LatencyModel {
   [[nodiscard]] sim::Duration max_one_way() const override {
     return std::max(default_, max_);
   }
+  [[nodiscard]] sim::Duration min_one_way() const override {
+    return std::min(default_, min_);
+  }
 
  private:
   sim::Duration default_;
   sim::Duration max_ = 0;
+  sim::Duration min_ = std::numeric_limits<sim::Duration>::max();
   std::map<std::pair<cell::CellId, cell::CellId>, sim::Duration> overrides_;
 };
 

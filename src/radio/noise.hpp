@@ -1,0 +1,57 @@
+// Radio-quality noise: a seeded fade field over (cell, channel, time).
+//
+// First step on the ROADMAP's unmodelled-fading item. The paper's analysis
+// assumes every channel outside the interference constraint is usable; real
+// radios see slow fading that makes individual channels temporarily fail
+// their SNR threshold. This models that as a stateless Bernoulli field:
+// within each coherence bucket of simulated time, a (cell, channel) pair is
+// faded with probability `fade_prob`, independently re-drawn each bucket.
+//
+// The field is a pure hash of (seed, cell, channel, bucket) — it consumes
+// no RNG stream, so enabling it perturbs no other stochastic component
+// (traffic, faults, pauses keep their exact trajectories), it is trivially
+// thread-safe, and any shard can evaluate it for any cell without shared
+// state. Allocators consult it when *picking* a channel for a new
+// acquisition; calls already in progress are not torn down by a fade.
+#pragma once
+
+#include <cstdint>
+
+#include "cell/grid.hpp"
+#include "sim/random.hpp"
+#include "sim/types.hpp"
+
+namespace dca::radio {
+
+class NoiseField {
+ public:
+  /// `fade_prob` in [0, 1): per-bucket probability a (cell, channel) is
+  /// unusable. `bucket` is the fade coherence time (must be positive when
+  /// fade_prob > 0).
+  NoiseField(std::uint64_t seed, double fade_prob, sim::Duration bucket)
+      : seed_(sim::mix64(seed ^ 0x5EEDFADEull)),
+        fade_prob_(fade_prob),
+        bucket_(bucket > 0 ? bucket : 1) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return fade_prob_ > 0.0; }
+
+  /// True when `channel` clears the SNR threshold in `cell` at time `now`.
+  [[nodiscard]] bool usable(cell::CellId cellId, int channel,
+                            sim::SimTime now) const noexcept {
+    if (fade_prob_ <= 0.0) return true;
+    const auto epoch = static_cast<std::uint64_t>(now / bucket_);
+    std::uint64_t h = seed_;
+    h = sim::mix64(h ^ static_cast<std::uint64_t>(cellId));
+    h = sim::mix64(h ^ (static_cast<std::uint64_t>(channel) << 32) ^ epoch);
+    // Map the hash to [0, 1) with 53-bit precision, as uniform() would.
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return u >= fade_prob_;
+  }
+
+ private:
+  std::uint64_t seed_;
+  double fade_prob_;
+  sim::Duration bucket_;
+};
+
+}  // namespace dca::radio

@@ -162,6 +162,18 @@ bool apply_scenario_text(const std::string& text, ScenarioConfig& config,
     } else if (key == "timeout_ms") {
       if (!parse_double(val, d)) return fail("number");
       config.request_timeout = sim::from_seconds(d / 1000.0);
+    } else if (key == "shards") {
+      if (!parse_int(val, i)) return fail("int");
+      config.shards = static_cast<int>(i);
+    } else if (key == "threads") {
+      if (!parse_int(val, i)) return fail("int");
+      config.threads = static_cast<int>(i);
+    } else if (key == "radio_fade_prob") {
+      if (!parse_double(val, d)) return fail("number");
+      config.radio_fade_prob = d;
+    } else if (key == "radio_fade_bucket_ms") {
+      if (!parse_double(val, d)) return fail("number");
+      config.radio_fade_bucket = sim::from_seconds(d / 1000.0);
     } else {
       error = "line " + std::to_string(lineno) + ": unknown key '" + key + "'";
       return false;
@@ -214,6 +226,11 @@ std::string scenario_to_text(const ScenarioConfig& c) {
   os << "pause_rate_per_min = " << c.fault.pause_rate_per_min << "\n";
   os << "pause_mean_s = " << c.fault.pause_mean_s << "\n";
   os << "timeout_ms = " << sim::to_milliseconds(c.request_timeout) << "\n";
+  os << "shards = " << c.shards << "\n";
+  os << "threads = " << c.threads << "\n";
+  os << "radio_fade_prob = " << c.radio_fade_prob << "\n";
+  os << "radio_fade_bucket_ms = " << sim::to_milliseconds(c.radio_fade_bucket)
+     << "\n";
   return os.str();
 }
 

@@ -1,5 +1,6 @@
 #include "runner/conformance.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 
@@ -217,31 +218,63 @@ ConformanceReport check_trace(const cell::HexGrid& grid, int n_channels,
 // JSONL round-trip
 // ---------------------------------------------------------------------------
 
+std::string trace_event_to_json(const sim::TraceEvent& e) {
+  metrics::JsonWriter w;
+  w.begin_object();
+  w.key("k");
+  w.value(sim::trace_kind_name(e.kind));
+  w.key("t");
+  w.value(static_cast<std::int64_t>(e.t));
+  w.key("cell");
+  w.value(e.cell);
+  w.key("peer");
+  w.value(e.peer);
+  w.key("ch");
+  w.value(e.channel);
+  w.key("serial");
+  w.value(e.serial);
+  w.key("a");
+  w.value(e.a);
+  w.key("b");
+  w.value(e.b);
+  w.end_object();
+  return w.str();
+}
+
 std::string trace_to_jsonl(const std::vector<sim::TraceEvent>& trace) {
   std::ostringstream os;
-  for (const auto& e : trace) {
-    metrics::JsonWriter w;
-    w.begin_object();
-    w.key("k");
-    w.value(sim::trace_kind_name(e.kind));
-    w.key("t");
-    w.value(static_cast<std::int64_t>(e.t));
-    w.key("cell");
-    w.value(e.cell);
-    w.key("peer");
-    w.value(e.peer);
-    w.key("ch");
-    w.value(e.channel);
-    w.key("serial");
-    w.value(e.serial);
-    w.key("a");
-    w.value(e.a);
-    w.key("b");
-    w.value(e.b);
-    w.end_object();
-    os << w.str() << '\n';
-  }
+  for (const auto& e : trace) os << trace_event_to_json(e) << '\n';
   return os.str();
+}
+
+TraceDiffResult diff_traces(const std::vector<sim::TraceEvent>& a,
+                            const std::vector<sim::TraceEvent>& b) {
+  TraceDiffResult r;
+  r.size_a = a.size();
+  r.size_b = b.size();
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a[i] == b[i]) continue;
+    r.index = i;
+    std::ostringstream os;
+    os << "event " << i << " differs:\n  A: " << trace_event_to_json(a[i])
+       << "\n  B: " << trace_event_to_json(b[i]);
+    r.description = os.str();
+    return r;
+  }
+  if (a.size() != b.size()) {
+    r.index = common;
+    const auto& longer = a.size() > b.size() ? a : b;
+    std::ostringstream os;
+    os << "traces agree on the first " << common << " events, then "
+       << (a.size() > b.size() ? "A" : "B") << " continues with "
+       << (longer.size() - common) << " more, first extra:\n  "
+       << trace_event_to_json(longer[common]);
+    r.description = os.str();
+    return r;
+  }
+  r.identical = true;
+  return r;
 }
 
 namespace {

@@ -101,4 +101,25 @@ class ConformanceChecker {
                                     std::vector<sim::TraceEvent>& out,
                                     std::string& error);
 
+/// Renders a single event as its JSONL object line (no trailing newline) —
+/// the same schema trace_to_jsonl emits one line of.
+[[nodiscard]] std::string trace_event_to_json(const sim::TraceEvent& e);
+
+// -- trace diffing -----------------------------------------------------------
+
+/// Structural comparison of two traces: the first index at which the
+/// event streams diverge, if any. Used by the trace_diff tool and by the
+/// determinism harness to localize an engine divergence to one event
+/// instead of one giant EXPECT_EQ failure.
+struct TraceDiffResult {
+  bool identical = false;
+  std::size_t index = 0;      // first diverging position (valid if !identical)
+  std::size_t size_a = 0;
+  std::size_t size_b = 0;
+  std::string description;    // one-line summary of the divergence
+};
+
+[[nodiscard]] TraceDiffResult diff_traces(const std::vector<sim::TraceEvent>& a,
+                                          const std::vector<sim::TraceEvent>& b);
+
 }  // namespace dca::runner

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "runner/shard_world.hpp"
 #include "traffic/generator.hpp"
 
 namespace dca::runner {
@@ -12,6 +13,9 @@ namespace dca::runner {
 RunResult run_profile(const ScenarioConfig& config, Scheme scheme,
                       const traffic::LoadProfile& profile,
                       sim::TraceRecorder* trace) {
+  if (config.shards > 1) {
+    return run_profile_sharded(config, scheme, profile, trace);
+  }
   World world(config, scheme);
   world.set_recorder(trace);
   traffic::TrafficSource source(

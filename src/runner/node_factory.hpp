@@ -1,0 +1,15 @@
+// Scheme -> AllocatorNode construction, shared by the classic World and
+// the sharded engine so both assemble byte-identical protocol agents.
+#pragma once
+
+#include <memory>
+
+#include "proto/allocator.hpp"
+#include "runner/scenario.hpp"
+
+namespace dca::runner {
+
+[[nodiscard]] std::unique_ptr<proto::AllocatorNode> make_node(
+    const proto::NodeContext& ctx, Scheme scheme, const ScenarioConfig& config);
+
+}  // namespace dca::runner

@@ -46,6 +46,27 @@ std::string validate_scenario(const ScenarioConfig& c) {
   if (c.request_timeout < 0) return "request timeout cannot be negative";
   if (c.fault.pause_rate_per_min > 0.0 && c.request_timeout == 0)
     return "MSS pauses stall handshakes indefinitely; set request_timeout";
+  if (c.shards < 1) return "shards must be >= 1";
+  if (c.threads < 0) return "threads cannot be negative";
+  if (c.shards > 1) {
+    if (c.shards > c.rows * c.cols)
+      return "more shards than cells";
+    if (c.latency <= 0)
+      return "sharded execution needs latency > 0 (the latency floor is "
+             "the engine's lookahead)";
+    if (c.latency_jitter > 0)
+      return "latency_jitter draws from one global RNG stream and cannot "
+             "be shard-partitioned deterministically; use fault jitter "
+             "(per-link streams) with shards > 1";
+    if (c.mean_dwell_s > 0.0)
+      return "mobility draws from one global RNG stream and hands calls "
+             "off across cells instantaneously; not supported with "
+             "shards > 1";
+  }
+  if (c.radio_fade_prob < 0.0 || c.radio_fade_prob >= 1.0)
+    return "radio_fade_prob must be in [0, 1)";
+  if (c.radio_fade_prob > 0.0 && c.radio_fade_bucket <= 0)
+    return "radio_fade_bucket must be positive when fading is enabled";
 
   // Final authority: build the actual geometry and validate the colouring
   // (catches e.g. torus dimensions incompatible with the cluster pattern).

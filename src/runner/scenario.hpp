@@ -66,6 +66,17 @@ struct ScenarioConfig {
   sim::Duration duration = sim::minutes(30);
   sim::Duration warmup = sim::minutes(5);
 
+  /// Engine parallelism. shards == 1 (default) runs the classic
+  /// single-queue engine, bit-identical to earlier builds. shards > 1
+  /// partitions cells across per-shard event queues synchronized on the
+  /// latency floor; results are bit-identical for any shards/threads
+  /// value, but sharded mode forbids the knobs whose RNG draws are not
+  /// attributable to a single cell (latency_jitter, mobility).
+  int shards = 1;
+  /// Worker threads for the sharded engine; 0 = min(shards, hardware).
+  /// Never affects results, only wall-clock.
+  int threads = 0;
+
   // Update-family retry cap (the paper's schemes may retry unboundedly;
   // see DESIGN.md faithfulness note 7).
   int max_update_attempts = 10;
@@ -88,6 +99,16 @@ struct ScenarioConfig {
   /// retries, then the search/mode-3 fallback). 0 disables the timers —
   /// correct for fault-free runs, where every response always arrives.
   sim::Duration request_timeout = 0;
+
+  /// Radio-quality noise: probability that a given (cell, channel) is
+  /// fading — temporarily unusable for *new* acquisitions — during any
+  /// given coherence bucket. 0 (default) disables the model entirely.
+  /// The fade field is a pure hash of (seed, cell, channel, bucket), so
+  /// it consumes no RNG stream and perturbs no other draw.
+  double radio_fade_prob = 0.0;
+  /// Coherence time of a fade state, i.e. how long a (cell, channel)
+  /// stays faded/clear before being re-drawn.
+  sim::Duration radio_fade_bucket = sim::seconds(1);
 
   /// Offered load per cell in Erlangs normalized to the primary-set size:
   /// rho = lambda * holding / |PR|  =>  lambda = rho * |PR| / holding.

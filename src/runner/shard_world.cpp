@@ -1,0 +1,1004 @@
+#include "runner/shard_world.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cell/grid.hpp"
+#include "cell/reuse.hpp"
+#include "metrics/collector.hpp"
+#include "net/fault.hpp"
+#include "net/latency.hpp"
+#include "net/message.hpp"
+#include "proto/allocator.hpp"
+#include "radio/noise.hpp"
+#include "runner/node_factory.hpp"
+#include "sim/random.hpp"
+#include "sim/shard.hpp"
+#include "traffic/call.hpp"
+
+namespace dca::runner {
+namespace {
+
+using cell::CellId;
+using LinkKey = std::pair<CellId, CellId>;
+
+class ShardedWorld;
+
+/// Per-shard NodeEnv. Nodes of shard s all share one env; `current` is
+/// set to the owning cell of the event being executed, which is how
+/// schedule_in / cancel_scheduled attribute timers without widening the
+/// NodeEnv interface.
+class ShardEnv final : public proto::NodeEnv {
+ public:
+  ShardedWorld* world = nullptr;
+  int shard = 0;
+  CellId current = cell::kNoCell;
+
+  [[nodiscard]] sim::SimTime now() const override;
+  void send(net::Message msg) override;
+  [[nodiscard]] sim::Duration latency_bound() const override;
+  void notify_acquired(CellId cellId, std::uint64_t serial, cell::ChannelId ch,
+                       proto::Outcome how, int attempts) override;
+  void notify_blocked(CellId cellId, std::uint64_t serial, proto::Outcome why,
+                      int attempts) override;
+  void notify_released(CellId cellId, cell::ChannelId ch) override;
+  void notify_reassigned(CellId cellId, cell::ChannelId from_ch,
+                         cell::ChannelId to_ch) override;
+  sim::RngStream& rng(CellId cellId) override;
+  sim::EventId schedule_in(sim::Duration delay,
+                           std::function<void()> fn) override;
+  void cancel_scheduled(sim::EventId id) override;
+  void record(const sim::TraceEvent& ev) override;
+  [[nodiscard]] bool channel_usable(CellId cellId,
+                                    cell::ChannelId ch) const override;
+};
+
+struct PendingFrame {
+  net::Message msg;
+  sim::EventId timer = sim::kInvalidEventId;
+  int attempts = 0;
+};
+struct LinkTx {
+  std::uint64_t next_seq = 1;
+  std::map<std::uint64_t, PendingFrame> pending;
+};
+struct LinkRx {
+  std::uint64_t next_expected = 1;
+  std::map<std::uint64_t, net::Message> reorder;
+};
+
+struct PendingCall {
+  traffic::CallId call = 0;
+  sim::Duration remaining = 0;
+  bool is_handoff = false;
+};
+struct ActiveCall {
+  traffic::CallId call = 0;
+  CellId cellId = cell::kNoCell;
+  cell::ChannelId channel = cell::kNoChannel;
+  sim::SimTime ends = 0;
+};
+
+/// One (t, flags) step of a cell's is_borrowing/is_searching timeline
+/// (recorded after each event that changed them; used to reconstruct the
+/// paper's N_borrow / N_search neighbour samples without cross-shard
+/// reads).
+struct FlagChange {
+  sim::SimTime t = 0;
+  bool borrowing = false;
+  bool searching = false;
+};
+
+/// All run state owned by one shard. Only events executing on that shard
+/// touch it, so workers never contend; alignas keeps neighbouring shards
+/// off each other's cache lines.
+struct alignas(64) ShardState {
+  ShardEnv env;
+
+  // -- network (sender side keyed by link (from,to) with shard_of(from)
+  //    == this shard; receiver side with shard_of(to) == this shard) ----
+  std::uint64_t total_sent = 0;
+  std::array<std::uint64_t, net::kNumMsgKinds> by_kind{};
+  std::map<LinkKey, sim::SimTime> link_clock;     // FIFO floor (sender)
+  std::map<LinkKey, std::uint64_t> link_seq;      // canonical key seq (sender)
+  std::map<LinkKey, LinkTx> tx;                   // transport send window
+  std::map<LinkKey, LinkRx> rx;                   // transport resequencer
+  std::map<LinkKey, sim::RngStream> fault_rng;    // per-link faults (sender)
+  std::set<CellId> paused;
+  std::map<CellId, std::vector<net::Message>> held;
+  net::TransportStats tstats;
+
+  // -- calls & metrics --------------------------------------------------
+  metrics::Collector collector;  // records whose request cell is local
+  std::vector<std::pair<std::uint64_t, net::MsgKind>> foreign_bills;
+  std::unordered_map<std::uint64_t, PendingCall> pending;
+  std::unordered_map<std::uint64_t, ActiveCall> active;
+  std::uint64_t violations = 0;
+  std::uint64_t reassignments = 0;
+
+  // Time-weighted usage integral in exact channel-microseconds; the
+  // per-shard int64 partial sums merge by addition, and every legacy
+  // double partial sum is an exact integer below 2^53, so the merged
+  // total reproduces the single-engine double bit for bit.
+  std::int64_t usage_integral = 0;
+  std::int64_t channels_in_use = 0;
+  sim::SimTime last_usage_change = 0;
+
+  std::vector<sim::TraceEvent> trace;
+};
+
+class ShardedWorld {
+ public:
+  ShardedWorld(const ScenarioConfig& config, Scheme scheme,
+               const traffic::LoadProfile& profile, bool tracing);
+
+  void run();
+  [[nodiscard]] RunResult result(sim::TraceRecorder* trace_out);
+
+ private:
+  friend class ShardEnv;
+
+  [[nodiscard]] ShardState& state_of(CellId c) {
+    return states_[static_cast<std::size_t>(kernel_.shard_of(c))];
+  }
+  [[nodiscard]] sim::SimTime now_of(CellId c) {
+    return kernel_.now(kernel_.shard_of(c));
+  }
+
+  // Canonical-key scheduling. Local classes draw the owner cell's
+  // scheduling counter; deliveries draw the directed link's sender-side
+  // counter — both reproduce the legacy engine's insertion order within
+  // their tie class.
+  sim::EventId schedule_local(CellId owner, std::uint8_t klass,
+                              sim::SimTime when, std::function<void()> fn);
+  void schedule_delivery(CellId from, CellId to, sim::SimTime when,
+                         std::function<void()> fn);
+  sim::EventId schedule_key(const sim::EventKey& key, std::function<void()> fn);
+  void flag_check(CellId owner);
+
+  // Traffic (live per-cell Lewis–Shedler chains; ids preassigned).
+  void precompute_call_ids();
+  void schedule_next_candidate(CellId c, sim::SimTime from_time);
+  void candidate_fire(CellId c, sim::SimTime when);
+  void submit_call(std::uint64_t serial, CellId c, sim::Duration holding);
+
+  // Network (port of net::Network with shard-partitioned state).
+  void net_send(int s, net::Message msg);
+  void transport_send(int s, net::Message msg);
+  void transmit(int s, const LinkKey& link, std::uint64_t seq);
+  void arm_rto(int s, const LinkKey& link, std::uint64_t seq);
+  void on_rto(int s, const LinkKey& link, std::uint64_t seq);
+  void on_data_frame(const LinkKey& link, std::uint64_t seq,
+                     const net::Message& msg);
+  void send_ack(const LinkKey& data_link, std::uint64_t cumulative);
+  void deliver_to_node(const net::Message& msg);
+  sim::RngStream& link_rng(ShardState& st, const LinkKey& link);
+  [[nodiscard]] sim::Duration rto(int attempts) const;
+  void record_link(ShardState& st, sim::TraceKind k, const LinkKey& link,
+                   std::uint64_t seq, std::int64_t b = 0);
+
+  // Pauses.
+  void schedule_pause_cycle(CellId c, sim::SimTime from_time);
+
+  // Call lifecycle (NodeEnv backends).
+  void notify_acquired(CellId cellId, std::uint64_t serial, cell::ChannelId ch,
+                       proto::Outcome how, int attempts);
+  void notify_blocked(CellId cellId, std::uint64_t serial, proto::Outcome why,
+                      int attempts);
+  void notify_released(CellId cellId, cell::ChannelId ch);
+  void notify_reassigned(CellId cellId, cell::ChannelId from_ch,
+                         cell::ChannelId to_ch);
+  void end_call(std::uint64_t serial, CellId cellId);
+  void accumulate_usage(ShardState& st, sim::SimTime t);
+  void trace_call_event(sim::TraceKind kind, CellId cellId, cell::ChannelId ch,
+                        std::uint64_t serial, std::int64_t a = 0);
+
+  [[nodiscard]] bool quiescent() const;
+  [[nodiscard]] std::pair<bool, bool> flags_at(CellId j, sim::SimTime t,
+                                               CellId closer) const;
+
+  ScenarioConfig config_;
+  Scheme scheme_;
+  const traffic::LoadProfile& profile_;
+  bool tracing_;
+  cell::HexGrid grid_;
+  cell::ReusePlan plan_;
+  std::unique_ptr<net::LatencyModel> latency_;
+  radio::NoiseField noise_;
+  sim::ShardedKernel kernel_;
+  std::vector<ShardState> states_;
+  std::vector<std::unique_ptr<proto::AllocatorNode>> nodes_;
+  std::vector<sim::RngStream> node_rng_;
+  std::vector<sim::RngStream> pause_rng_;
+  std::vector<sim::RngStream> arrival_rng_;
+  std::vector<sim::RngStream> holding_rng_;
+  std::vector<cell::ChannelSet> truth_;
+  std::vector<std::uint64_t> cell_seq_;  // local-class canonical counters
+
+  bool transport_ = false;
+  sim::Duration rto_base_ = 0;
+  sim::SimTime horizon_ = 0;
+
+  // Preassigned call identities: serial == CallId == 1 + rank of the
+  // accepted arrival in (time, cell) order (the canonical execution
+  // order, hence the legacy issue order).
+  std::vector<CellId> serial_cell_;
+  std::vector<std::vector<traffic::CallId>> ids_by_cell_;
+  std::vector<std::size_t> next_id_idx_;
+
+  // Flag timelines for deferred neighbour sampling.
+  std::vector<FlagChange> cur_flags_;
+  std::vector<std::vector<FlagChange>> timelines_;
+};
+
+// -- ShardEnv forwarding ---------------------------------------------------
+
+sim::SimTime ShardEnv::now() const { return world->kernel_.now(shard); }
+void ShardEnv::send(net::Message msg) { world->net_send(shard, std::move(msg)); }
+sim::Duration ShardEnv::latency_bound() const {
+  return world->latency_->max_one_way();
+}
+void ShardEnv::notify_acquired(CellId cellId, std::uint64_t serial,
+                               cell::ChannelId ch, proto::Outcome how,
+                               int attempts) {
+  world->notify_acquired(cellId, serial, ch, how, attempts);
+}
+void ShardEnv::notify_blocked(CellId cellId, std::uint64_t serial,
+                              proto::Outcome why, int attempts) {
+  world->notify_blocked(cellId, serial, why, attempts);
+}
+void ShardEnv::notify_released(CellId cellId, cell::ChannelId ch) {
+  world->notify_released(cellId, ch);
+}
+void ShardEnv::notify_reassigned(CellId cellId, cell::ChannelId from_ch,
+                                 cell::ChannelId to_ch) {
+  world->notify_reassigned(cellId, from_ch, to_ch);
+}
+sim::RngStream& ShardEnv::rng(CellId cellId) {
+  return world->node_rng_[static_cast<std::size_t>(cellId)];
+}
+sim::EventId ShardEnv::schedule_in(sim::Duration delay,
+                                   std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return world->schedule_local(current, sim::kClassTimer, now() + delay,
+                               std::move(fn));
+}
+void ShardEnv::cancel_scheduled(sim::EventId id) {
+  world->kernel_.cancel(current, id);
+}
+void ShardEnv::record(const sim::TraceEvent& ev) {
+  if (world->tracing_) world->states_[static_cast<std::size_t>(shard)].trace.push_back(ev);
+}
+bool ShardEnv::channel_usable(CellId cellId, cell::ChannelId ch) const {
+  return world->noise_.usable(cellId, ch, now());
+}
+
+// -- construction ----------------------------------------------------------
+
+ShardedWorld::ShardedWorld(const ScenarioConfig& config, Scheme scheme,
+                           const traffic::LoadProfile& profile, bool tracing)
+    : config_(config),
+      scheme_(scheme),
+      profile_(profile),
+      tracing_(tracing),
+      grid_(config.rows, config.cols, config.interference_radius, config.wrap),
+      plan_(config.greedy_plan
+                ? cell::ReusePlan::greedy(grid_, config.n_channels)
+                : cell::ReusePlan::cluster(grid_, config.n_channels,
+                                           config.cluster)),
+      latency_(std::make_unique<net::FixedLatency>(config.latency)),
+      noise_(config.seed, config.radio_fade_prob, config.radio_fade_bucket),
+      kernel_(grid_.n_cells(), config.shards, latency_->min_one_way(),
+              config.threads),
+      states_(static_cast<std::size_t>(config.shards)) {
+  if (!plan_.validate(grid_)) {
+    std::fprintf(stderr, "ShardedWorld: reuse plan invalid for %dx%d grid\n",
+                 config_.rows, config_.cols);
+    std::abort();
+  }
+  // The sharded-mode restrictions (validate_scenario): the knobs whose
+  // RNG draws cannot be attributed to a single cell.
+  if (config_.latency_jitter > 0 || config_.mean_dwell_s > 0.0 ||
+      config_.latency <= 0) {
+    std::fprintf(stderr,
+                 "ShardedWorld: config violates sharded-mode restrictions "
+                 "(run validate_scenario first)\n");
+    std::abort();
+  }
+  for (int s = 0; s < config_.shards; ++s) {
+    states_[static_cast<std::size_t>(s)].env.world = this;
+    states_[static_cast<std::size_t>(s)].env.shard = s;
+  }
+
+  transport_ = config_.fault.link_faults();
+  rto_base_ = 2 * (latency_->max_one_way() + config_.fault.jitter) +
+              sim::milliseconds(1);
+  horizon_ = config_.duration;
+
+  const auto n = static_cast<std::size_t>(grid_.n_cells());
+  truth_.assign(n, cell::ChannelSet(config_.n_channels));
+  cell_seq_.assign(n, 0);
+  cur_flags_.assign(n, FlagChange{});
+  timelines_.assign(n, {});
+  next_id_idx_.assign(n, 0);
+  ids_by_cell_.assign(n, {});
+
+  node_rng_.reserve(n);
+  arrival_rng_.reserve(n);
+  holding_rng_.reserve(n);
+  for (CellId c = 0; c < grid_.n_cells(); ++c) {
+    node_rng_.push_back(sim::RngStream::derive(
+        config_.seed, 0x90de000ull + static_cast<std::uint64_t>(c)));
+    arrival_rng_.push_back(
+        sim::RngStream::derive(config_.seed, static_cast<std::uint64_t>(c)));
+    holding_rng_.push_back(sim::RngStream::derive(
+        config_.seed, static_cast<std::uint64_t>(c + grid_.n_cells())));
+  }
+
+  nodes_.reserve(n);
+  for (CellId c = 0; c < grid_.n_cells(); ++c) {
+    ShardEnv& env = states_[static_cast<std::size_t>(kernel_.shard_of(c))].env;
+    proto::NodeContext ctx{c, &grid_, &plan_, &env,
+                           proto::Resilience{config_.request_timeout}};
+    nodes_.push_back(make_node(ctx, scheme_, config_));
+  }
+
+  if (config_.fault.pauses()) {
+    pause_rng_.reserve(n);
+    for (CellId c = 0; c < grid_.n_cells(); ++c) {
+      pause_rng_.push_back(sim::RngStream::derive(
+          config_.seed, 0x9a05e000ull + static_cast<std::uint64_t>(c)));
+      schedule_pause_cycle(c, 0);
+    }
+  }
+
+  precompute_call_ids();
+  for (CellId c = 0; c < grid_.n_cells(); ++c) {
+    schedule_next_candidate(c, 0);
+  }
+}
+
+// -- scheduling ------------------------------------------------------------
+
+sim::EventId ShardedWorld::schedule_key(const sim::EventKey& key,
+                                        std::function<void()> fn) {
+  const int dest = kernel_.shard_of(key.owner);
+  return kernel_.schedule(
+      key, [this, dest, owner = key.owner, f = std::move(fn)]() {
+        states_[static_cast<std::size_t>(dest)].env.current = owner;
+        f();
+        flag_check(owner);
+      });
+}
+
+sim::EventId ShardedWorld::schedule_local(CellId owner, std::uint8_t klass,
+                                          sim::SimTime when,
+                                          std::function<void()> fn) {
+  sim::EventKey key;
+  key.when = when;
+  key.owner = owner;
+  key.klass = klass;
+  key.seq = ++cell_seq_[static_cast<std::size_t>(owner)];
+  return schedule_key(key, std::move(fn));
+}
+
+void ShardedWorld::schedule_delivery(CellId from, CellId to, sim::SimTime when,
+                                     std::function<void()> fn) {
+  sim::EventKey key;
+  key.when = when;
+  key.owner = to;
+  key.klass = sim::kClassDelivery;
+  key.sub = from;
+  key.seq = ++state_of(from).link_seq[{from, to}];
+  (void)schedule_key(key, std::move(fn));
+}
+
+void ShardedWorld::flag_check(CellId owner) {
+  const auto& node = *nodes_[static_cast<std::size_t>(owner)];
+  const bool b = node.is_borrowing();
+  const bool s = node.is_searching();
+  FlagChange& cur = cur_flags_[static_cast<std::size_t>(owner)];
+  if (b == cur.borrowing && s == cur.searching) return;
+  cur.borrowing = b;
+  cur.searching = s;
+  cur.t = now_of(owner);
+  timelines_[static_cast<std::size_t>(owner)].push_back(cur);
+}
+
+std::pair<bool, bool> ShardedWorld::flags_at(CellId j, sim::SimTime t,
+                                             CellId closer) const {
+  // Flags the legacy engine would have sampled from neighbour j during
+  // the close event at (t, closer): j's events at instant t execute
+  // before the close exactly when j < closer (cell is the first
+  // canonical tiebreak after time).
+  const sim::SimTime bound = j < closer ? t : t - 1;
+  const auto& tl = timelines_[static_cast<std::size_t>(j)];
+  auto it = std::upper_bound(
+      tl.begin(), tl.end(), bound,
+      [](sim::SimTime lhs, const FlagChange& fc) { return lhs < fc.t; });
+  if (it == tl.begin()) return {false, false};
+  --it;
+  return {it->borrowing, it->searching};
+}
+
+// -- traffic ---------------------------------------------------------------
+
+void ShardedWorld::precompute_call_ids() {
+  // Replays every cell's candidate chain on cloned streams to find the
+  // accepted arrivals, then assigns CallIds (== serials) in (time, cell)
+  // order — the canonical execution order of the accept events. The live
+  // chains make the identical draws from the original streams.
+  struct Acc {
+    sim::SimTime t;
+    CellId c;
+  };
+  std::vector<Acc> accepted;
+  for (CellId c = 0; c < grid_.n_cells(); ++c) {
+    sim::RngStream rng = arrival_rng_[static_cast<std::size_t>(c)];  // clone
+    const double ceiling = profile_.max_rate(c);
+    if (ceiling <= 0.0) continue;
+    sim::SimTime t = 0;
+    for (;;) {
+      t += rng.exponential_gap(ceiling);
+      if (t >= horizon_) break;
+      const double accept_p = profile_.rate(c, t) / ceiling;
+      if (rng.uniform() < accept_p) accepted.push_back(Acc{t, c});
+    }
+  }
+  std::stable_sort(accepted.begin(), accepted.end(),
+                   [](const Acc& a, const Acc& b) {
+                     return a.t != b.t ? a.t < b.t : a.c < b.c;
+                   });
+  serial_cell_.reserve(accepted.size());
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    serial_cell_.push_back(accepted[i].c);
+    ids_by_cell_[static_cast<std::size_t>(accepted[i].c)].push_back(
+        static_cast<traffic::CallId>(i + 1));
+  }
+}
+
+void ShardedWorld::schedule_next_candidate(CellId c, sim::SimTime from_time) {
+  auto& rng = arrival_rng_[static_cast<std::size_t>(c)];
+  const double ceiling = profile_.max_rate(c);
+  if (ceiling <= 0.0) return;
+  const sim::SimTime when = from_time + rng.exponential_gap(ceiling);
+  if (when >= horizon_) return;
+  (void)schedule_local(c, sim::kClassArrival, when,
+                       [this, c, when]() { candidate_fire(c, when); });
+}
+
+void ShardedWorld::candidate_fire(CellId c, sim::SimTime when) {
+  auto& rng = arrival_rng_[static_cast<std::size_t>(c)];
+  const double ceiling = profile_.max_rate(c);
+  const double accept_p = profile_.rate(c, when) / ceiling;
+  if (rng.uniform() < accept_p) {
+    sim::Duration holding = sim::from_seconds(
+        holding_rng_[static_cast<std::size_t>(c)].exponential_mean(
+            config_.mean_holding_s));
+    if (holding <= 0) holding = 1;
+    auto& idx = next_id_idx_[static_cast<std::size_t>(c)];
+    const traffic::CallId id = ids_by_cell_[static_cast<std::size_t>(c)][idx++];
+    submit_call(static_cast<std::uint64_t>(id), c, holding);
+  }
+  schedule_next_candidate(c, when);
+}
+
+void ShardedWorld::submit_call(std::uint64_t serial, CellId c,
+                               sim::Duration holding) {
+  ShardState& st = state_of(c);
+  st.pending[serial] =
+      PendingCall{static_cast<traffic::CallId>(serial), holding, false};
+  st.collector.open(serial, static_cast<traffic::CallId>(serial), c, now_of(c),
+                    /*is_handoff=*/false);
+  trace_call_event(sim::TraceKind::kRequest, c, cell::kNoChannel, serial);
+  nodes_[static_cast<std::size_t>(c)]->request_channel(serial);
+}
+
+// -- network ---------------------------------------------------------------
+
+sim::RngStream& ShardedWorld::link_rng(ShardState& st, const LinkKey& link) {
+  auto it = st.fault_rng.find(link);
+  if (it == st.fault_rng.end()) {
+    const std::uint64_t label =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(link.first))
+         << 32) |
+        static_cast<std::uint32_t>(link.second);
+    it = st.fault_rng
+             .emplace(link, sim::RngStream::derive(config_.seed ^ 0xFA017ull,
+                                                   label))
+             .first;
+  }
+  return it->second;
+}
+
+void ShardedWorld::record_link(ShardState& st, sim::TraceKind k,
+                               const LinkKey& link, std::uint64_t seq,
+                               std::int64_t b) {
+  if (!tracing_) return;
+  sim::TraceEvent e;
+  e.kind = k;
+  e.t = kernel_.now(st.env.shard);
+  e.cell = static_cast<std::int32_t>(link.first);
+  e.peer = static_cast<std::int32_t>(link.second);
+  e.a = static_cast<std::int64_t>(seq);
+  e.b = b;
+  st.trace.push_back(e);
+}
+
+void ShardedWorld::net_send(int s, net::Message msg) {
+  assert(msg.from != cell::kNoCell && msg.to != cell::kNoCell);
+  assert(msg.from != msg.to && "nodes do not message themselves");
+  ShardState& st = states_[static_cast<std::size_t>(s)];
+  ++st.total_sent;
+  ++st.by_kind[static_cast<std::size_t>(msg.kind)];
+  // Metrics attribution (the legacy observer hook): bill locally when the
+  // request cell lives on this shard, else log for the merge step —
+  // per-record message counts are order-independent, so deferred billing
+  // is exact.
+  if (msg.serial == 0) {
+    st.collector.on_message(msg);  // counts it as unattributable
+  } else {
+    assert(msg.serial <= serial_cell_.size());
+    const CellId owner = serial_cell_[msg.serial - 1];
+    if (kernel_.shard_of(owner) == s) {
+      st.collector.bill(msg.serial, msg.kind);
+    } else {
+      st.foreign_bills.emplace_back(msg.serial, msg.kind);
+    }
+  }
+  if (transport_) {
+    transport_send(s, std::move(msg));
+    return;
+  }
+  const sim::Duration d = latency_->delay(msg.from, msg.to);
+  sim::SimTime when = kernel_.now(s) + (d > 0 ? d : 0);
+  auto& floor_time = st.link_clock[{msg.from, msg.to}];
+  if (when < floor_time) when = floor_time;
+  floor_time = when;
+  schedule_delivery(msg.from, msg.to, when,
+                    [this, m = std::move(msg)]() { deliver_to_node(m); });
+}
+
+void ShardedWorld::transport_send(int s, net::Message msg) {
+  const LinkKey link{msg.from, msg.to};
+  LinkTx& tx = states_[static_cast<std::size_t>(s)].tx[link];
+  const std::uint64_t seq = tx.next_seq++;
+  tx.pending.emplace(seq, PendingFrame{std::move(msg)});
+  transmit(s, link, seq);
+  arm_rto(s, link, seq);
+}
+
+sim::Duration ShardedWorld::rto(int attempts) const {
+  const int shift = attempts < 6 ? attempts : 6;
+  return rto_base_ << shift;
+}
+
+void ShardedWorld::arm_rto(int s, const LinkKey& link, std::uint64_t seq) {
+  ShardState& st = states_[static_cast<std::size_t>(s)];
+  PendingFrame& f = st.tx[link].pending.at(seq);
+  f.timer = schedule_local(
+      link.first, sim::kClassTimer, kernel_.now(s) + rto(f.attempts),
+      [this, s, link, seq]() { on_rto(s, link, seq); });
+}
+
+void ShardedWorld::on_rto(int s, const LinkKey& link, std::uint64_t seq) {
+  ShardState& st = states_[static_cast<std::size_t>(s)];
+  LinkTx& tx = st.tx[link];
+  auto it = tx.pending.find(seq);
+  if (it == tx.pending.end()) return;  // acked in the meantime
+  it->second.timer = sim::kInvalidEventId;
+  ++it->second.attempts;
+  ++st.tstats.retransmissions;
+  record_link(st, sim::TraceKind::kRetransmit, link, seq, it->second.attempts);
+  transmit(s, link, seq);
+  arm_rto(s, link, seq);
+}
+
+void ShardedWorld::transmit(int s, const LinkKey& link, std::uint64_t seq) {
+  ShardState& st = states_[static_cast<std::size_t>(s)];
+  sim::RngStream& rng = link_rng(st, link);
+  if (config_.fault.drop_prob > 0 && rng.bernoulli(config_.fault.drop_prob)) {
+    ++st.tstats.frames_dropped;
+    record_link(st, sim::TraceKind::kDrop, link, seq);
+    return;  // lost in flight; the RTO will resend it
+  }
+  const net::Message& msg = st.tx[link].pending.at(seq).msg;
+  int copies = 1;
+  if (config_.fault.dup_prob > 0 && rng.bernoulli(config_.fault.dup_prob)) {
+    ++st.tstats.frames_duplicated;
+    record_link(st, sim::TraceKind::kDup, link, seq);
+    copies = 2;
+  }
+  for (int i = 0; i < copies; ++i) {
+    sim::Duration d = latency_->delay(link.first, link.second);
+    if (d < 0) d = 0;
+    if (config_.fault.jitter > 0) d += rng.uniform_int(0, config_.fault.jitter);
+    // No FIFO floor: frame-level reordering is the injected fault; the
+    // receive side resequences. The fault jitter only ever *adds* delay,
+    // so d stays >= the latency floor and the lookahead contract holds.
+    schedule_delivery(link.first, link.second, kernel_.now(s) + d,
+                      [this, link, seq, m = msg]() {
+                        on_data_frame(link, seq, m);
+                      });
+  }
+}
+
+void ShardedWorld::on_data_frame(const LinkKey& link, std::uint64_t seq,
+                                 const net::Message& msg) {
+  // Executes on the receiver's shard.
+  ShardState& st = state_of(link.second);
+  LinkRx& rx = st.rx[link];
+  if (seq >= rx.next_expected) {
+    rx.reorder.emplace(seq, msg);
+    while (true) {
+      auto it = rx.reorder.find(rx.next_expected);
+      if (it == rx.reorder.end()) break;
+      const net::Message m = std::move(it->second);
+      rx.reorder.erase(it);
+      ++rx.next_expected;
+      deliver_to_node(m);
+    }
+  }
+  send_ack(link, rx.next_expected - 1);
+}
+
+void ShardedWorld::send_ack(const LinkKey& data_link, std::uint64_t cumulative) {
+  // Executes on the receiver's shard; the ack travels the reverse link,
+  // whose sender-side state (fault RNG, canonical seq) lives right here.
+  ShardState& st = state_of(data_link.second);
+  ++st.tstats.acks_sent;
+  const LinkKey back{data_link.second, data_link.first};
+  sim::RngStream& rng = link_rng(st, back);
+  if (config_.fault.drop_prob > 0 && rng.bernoulli(config_.fault.drop_prob)) {
+    ++st.tstats.frames_dropped;
+    record_link(st, sim::TraceKind::kDrop, back, cumulative);
+    return;
+  }
+  sim::Duration d = latency_->delay(back.first, back.second);
+  if (d < 0) d = 0;
+  if (config_.fault.jitter > 0) d += rng.uniform_int(0, config_.fault.jitter);
+  schedule_delivery(back.first, back.second,
+                    kernel_.now(st.env.shard) + d,
+                    [this, data_link, cumulative]() {
+                      // Executes on the original sender's shard.
+                      ShardState& sst = state_of(data_link.first);
+                      LinkTx& tx = sst.tx[data_link];
+                      auto it = tx.pending.begin();
+                      while (it != tx.pending.end() && it->first <= cumulative) {
+                        if (it->second.timer != sim::kInvalidEventId) {
+                          kernel_.cancel(data_link.first, it->second.timer);
+                        }
+                        it = tx.pending.erase(it);
+                      }
+                    });
+}
+
+void ShardedWorld::deliver_to_node(const net::Message& msg) {
+  ShardState& st = state_of(msg.to);
+  if (!st.paused.empty() && st.paused.count(msg.to) != 0) {
+    st.held[msg.to].push_back(msg);
+    return;
+  }
+  nodes_[static_cast<std::size_t>(msg.to)]->on_message(msg);
+}
+
+// -- pauses ----------------------------------------------------------------
+
+void ShardedWorld::schedule_pause_cycle(CellId c, sim::SimTime from_time) {
+  auto& rng = pause_rng_[static_cast<std::size_t>(c)];
+  const double gap_s =
+      rng.exponential_mean(60.0 / config_.fault.pause_rate_per_min);
+  const sim::SimTime at = from_time + sim::from_seconds(gap_s);
+  if (at >= config_.duration) return;
+  const double len_s = rng.exponential_mean(config_.fault.pause_mean_s);
+  const sim::Duration len = std::max<sim::Duration>(sim::from_seconds(len_s), 1);
+  (void)schedule_local(c, sim::kClassControl, at, [this, c, at, len]() {
+    ShardState& st = state_of(c);
+    if (st.paused.insert(c).second && tracing_) {
+      sim::TraceEvent e;
+      e.kind = sim::TraceKind::kPause;
+      e.t = at;
+      e.cell = static_cast<std::int32_t>(c);
+      st.trace.push_back(e);
+    }
+    (void)schedule_local(c, sim::kClassControl, at + len, [this, c, at, len]() {
+      ShardState& ist = state_of(c);
+      if (ist.paused.erase(c) != 0) {
+        if (tracing_) {
+          sim::TraceEvent e;
+          e.kind = sim::TraceKind::kResume;
+          e.t = at + len;
+          e.cell = static_cast<std::int32_t>(c);
+          ist.trace.push_back(e);
+        }
+        auto it = ist.held.find(c);
+        if (it != ist.held.end()) {
+          std::vector<net::Message> backlog = std::move(it->second);
+          ist.held.erase(it);
+          for (const net::Message& m : backlog) {
+            nodes_[static_cast<std::size_t>(m.to)]->on_message(m);
+          }
+        }
+      }
+      schedule_pause_cycle(c, at + len);
+    });
+  });
+}
+
+// -- call lifecycle --------------------------------------------------------
+
+void ShardedWorld::trace_call_event(sim::TraceKind kind, CellId cellId,
+                                    cell::ChannelId ch, std::uint64_t serial,
+                                    std::int64_t a) {
+  if (!tracing_) return;
+  ShardState& st = state_of(cellId);
+  sim::TraceEvent e;
+  e.kind = kind;
+  e.t = now_of(cellId);
+  e.cell = static_cast<std::int32_t>(cellId);
+  e.channel = static_cast<std::int32_t>(ch);
+  e.serial = serial;
+  e.a = a;
+  st.trace.push_back(e);
+}
+
+void ShardedWorld::accumulate_usage(ShardState& st, sim::SimTime t) {
+  st.usage_integral += (t - st.last_usage_change) * st.channels_in_use;
+  st.last_usage_change = t;
+}
+
+void ShardedWorld::notify_acquired(CellId cellId, std::uint64_t serial,
+                                   cell::ChannelId ch, proto::Outcome how,
+                                   int attempts) {
+  ShardState& st = state_of(cellId);
+  const sim::SimTime t = now_of(cellId);
+  // Theorem-1 check against same-shard neighbours only (cross-shard
+  // ground truth is mid-window foreign state); the ConformanceChecker's
+  // reuse-distance pass on the merged trace covers the full region.
+  const int s = kernel_.shard_of(cellId);
+  for (const CellId j : grid_.interference(cellId)) {
+    if (kernel_.shard_of(j) != s) continue;
+    if (truth_[static_cast<std::size_t>(j)].contains(ch)) {
+      ++st.violations;
+      std::fprintf(stderr,
+                   "[T1 VIOLATION] t=%lld cell=%d ch=%d conflicts with "
+                   "cell=%d (sharded)\n",
+                   static_cast<long long>(t), cellId, ch, j);
+      assert(false && "co-channel interference: Theorem 1 violated");
+    }
+  }
+  truth_[static_cast<std::size_t>(cellId)].insert(ch);
+  accumulate_usage(st, t);
+  ++st.channels_in_use;
+  trace_call_event(sim::TraceKind::kAcquire, cellId, ch, serial,
+                   static_cast<std::int64_t>(how));
+
+  // Neighbour borrow/search samples are reconstructed from the flag
+  // timelines at merge time; only the same-shard self-sample (legacy
+  // adds it for acquisitions only) is taken live.
+  const int searching_self =
+      nodes_[static_cast<std::size_t>(cellId)]->is_searching() ? 1 : 0;
+  st.collector.close(serial, t, how, attempts, 0, searching_self);
+
+  const auto it = st.pending.find(serial);
+  assert(it != st.pending.end());
+  const PendingCall pc = it->second;
+  st.pending.erase(it);
+
+  ActiveCall state;
+  state.call = pc.call;
+  state.cellId = cellId;
+  state.channel = ch;
+  state.ends = t + pc.remaining;
+  st.active[serial] = state;
+  (void)schedule_local(cellId, sim::kClassProgress, state.ends,
+                       [this, serial, cellId]() { end_call(serial, cellId); });
+}
+
+void ShardedWorld::end_call(std::uint64_t serial, CellId cellId) {
+  ShardState& st = state_of(cellId);
+  const auto it = st.active.find(serial);
+  assert(it != st.active.end());
+  const ActiveCall state = it->second;
+  st.active.erase(it);
+  nodes_[static_cast<std::size_t>(state.cellId)]->release_channel(state.channel,
+                                                                 serial);
+  // Mobility is excluded in sharded mode, so the call always completes
+  // here (the progress event is its end instant).
+}
+
+void ShardedWorld::notify_blocked(CellId cellId, std::uint64_t serial,
+                                  proto::Outcome why, int attempts) {
+  ShardState& st = state_of(cellId);
+  st.collector.close(serial, now_of(cellId), why, attempts, 0, 0);
+  st.pending.erase(serial);
+  trace_call_event(sim::TraceKind::kBlock, cellId, cell::kNoChannel, serial,
+                   static_cast<std::int64_t>(why));
+}
+
+void ShardedWorld::notify_released(CellId cellId, cell::ChannelId ch) {
+  ShardState& st = state_of(cellId);
+  assert(truth_[static_cast<std::size_t>(cellId)].contains(ch));
+  truth_[static_cast<std::size_t>(cellId)].erase(ch);
+  accumulate_usage(st, now_of(cellId));
+  --st.channels_in_use;
+  assert(st.channels_in_use >= 0);
+  trace_call_event(sim::TraceKind::kRelease, cellId, ch, 0);
+}
+
+void ShardedWorld::notify_reassigned(CellId cellId, cell::ChannelId from_ch,
+                                     cell::ChannelId to_ch) {
+  ShardState& st = state_of(cellId);
+  const int s = kernel_.shard_of(cellId);
+  for (const CellId j : grid_.interference(cellId)) {
+    if (kernel_.shard_of(j) != s) continue;
+    if (truth_[static_cast<std::size_t>(j)].contains(to_ch)) {
+      ++st.violations;
+      std::fprintf(stderr,
+                   "[T1 VIOLATION] t=%lld cell=%d reassign %d->%d conflicts "
+                   "with cell=%d (sharded)\n",
+                   static_cast<long long>(now_of(cellId)), cellId, from_ch,
+                   to_ch, j);
+      assert(false && "co-channel interference on reassignment");
+    }
+  }
+  assert(truth_[static_cast<std::size_t>(cellId)].contains(from_ch));
+  truth_[static_cast<std::size_t>(cellId)].erase(from_ch);
+  truth_[static_cast<std::size_t>(cellId)].insert(to_ch);
+  ++st.reassignments;
+  trace_call_event(sim::TraceKind::kRelease, cellId, from_ch, 0);
+  trace_call_event(sim::TraceKind::kAcquire, cellId, to_ch, 0);
+  for (auto& [serial, call] : st.active) {
+    if (call.cellId == cellId && call.channel == from_ch) {
+      call.channel = to_ch;
+      return;
+    }
+  }
+  assert(false && "reassignment of a channel with no active call");
+}
+
+// -- run & merge -----------------------------------------------------------
+
+void ShardedWorld::run() {
+  kernel_.run_until(config_.duration);
+  kernel_.run_to_quiescence();
+}
+
+bool ShardedWorld::quiescent() const {
+  for (const ShardState& st : states_) {
+    if (!st.pending.empty()) return false;
+    if (st.collector.open_count() != 0) return false;
+  }
+  for (const auto& n : nodes_) {
+    if (n->busy() || n->queued() != 0) return false;
+  }
+  return true;
+}
+
+RunResult ShardedWorld::result(sim::TraceRecorder* trace_out) {
+  RunResult out;
+  out.scheme = scheme_;
+
+  // Canonical record merge: concatenate per shard (each shard's records
+  // are in its execution order), stable-sort by (decision time, cell).
+  // Equal keys only ever come from the same shard — a cell closes all its
+  // records on its own shard — so stability reproduces the global
+  // canonical close order exactly.
+  std::vector<metrics::CallRecord> merged;
+  std::size_t total_records = 0;
+  for (const ShardState& st : states_) total_records += st.collector.records().size();
+  merged.reserve(total_records);
+  for (const ShardState& st : states_) {
+    const auto& recs = st.collector.records();
+    merged.insert(merged.end(), recs.begin(), recs.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const metrics::CallRecord& a, const metrics::CallRecord& b) {
+                     return a.t_decision != b.t_decision
+                                ? a.t_decision < b.t_decision
+                                : a.cellId < b.cellId;
+                   });
+
+  // Apply foreign billing logs (messages observed on a shard that does
+  // not own the serial's record).
+  std::unordered_map<std::uint64_t, std::size_t> by_serial;
+  by_serial.reserve(merged.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) by_serial.emplace(merged[i].serial, i);
+  for (const ShardState& st : states_) {
+    for (const auto& [serial, kind] : st.foreign_bills) {
+      const auto it = by_serial.find(serial);
+      assert(it != by_serial.end());
+      if (it != by_serial.end()) {
+        ++merged[it->second].messages[static_cast<std::size_t>(kind)];
+      }
+    }
+  }
+
+  // Reconstruct the deferred neighbour samples from the flag timelines
+  // (legacy samples every interference neighbour at the close instant for
+  // acquired and blocked records alike; the self-searching term — added
+  // for acquisitions only — was already sampled live on the owning shard).
+  for (metrics::CallRecord& rec : merged) {
+    for (const CellId j : grid_.interference(rec.cellId)) {
+      const auto [b, s] = flags_at(j, rec.t_decision, rec.cellId);
+      if (b) ++rec.borrowing_neighbors;
+      if (s) ++rec.searching_neighbors;
+    }
+  }
+
+  out.agg = metrics::aggregate_records(merged, latency_->max_one_way(),
+                                       config_.warmup);
+
+  std::int64_t usage = 0;
+  for (const ShardState& st : states_) {
+    out.total_messages += st.total_sent;
+    for (int k = 0; k < net::kNumMsgKinds; ++k) {
+      out.messages_by_kind[static_cast<std::size_t>(k)] +=
+          st.by_kind[static_cast<std::size_t>(k)];
+    }
+    out.violations += st.violations;
+    out.transport.frames_dropped += st.tstats.frames_dropped;
+    out.transport.frames_duplicated += st.tstats.frames_duplicated;
+    out.transport.retransmissions += st.tstats.retransmissions;
+    out.transport.acks_sent += st.tstats.acks_sent;
+    usage += st.usage_integral;
+    if (st.last_usage_change < config_.duration) {
+      usage += (config_.duration - st.last_usage_change) * st.channels_in_use;
+    }
+  }
+  out.offered_calls = serial_cell_.size();
+  out.carried_erlangs = config_.duration > 0
+                            ? static_cast<double>(usage) /
+                                  static_cast<double>(config_.duration)
+                            : 0.0;
+  out.executed_events = kernel_.executed();
+  out.quiescent = quiescent();
+
+  if (trace_out != nullptr) {
+    // Canonical trace merge — the same argument as the record merge:
+    // every event is emitted on shard_of(event.cell), so equal (t, cell)
+    // keys share a shard and stable sort preserves their execution order.
+    std::vector<sim::TraceEvent> events;
+    std::size_t total_events = 0;
+    for (const ShardState& st : states_) total_events += st.trace.size();
+    events.reserve(total_events + 1);
+    for (const ShardState& st : states_) {
+      events.insert(events.end(), st.trace.begin(), st.trace.end());
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const sim::TraceEvent& a, const sim::TraceEvent& b) {
+                       return a.t != b.t ? a.t < b.t : a.cell < b.cell;
+                     });
+    for (const sim::TraceEvent& e : events) trace_out->emit(e);
+    std::size_t open = 0;
+    for (const ShardState& st : states_) open += st.active.size();
+    sim::TraceEvent end;
+    end.kind = sim::TraceKind::kRunEnd;
+    end.t = kernel_.max_now();
+    end.a = out.quiescent ? 1 : 0;
+    end.b = static_cast<std::int64_t>(open);
+    trace_out->emit(end);
+  }
+  return out;
+}
+
+}  // namespace
+
+RunResult run_profile_sharded(const ScenarioConfig& config, Scheme scheme,
+                              const traffic::LoadProfile& profile,
+                              sim::TraceRecorder* trace) {
+  ShardedWorld world(config, scheme, profile, trace != nullptr);
+  world.run();
+  return world.result(trace);
+}
+
+}  // namespace dca::runner

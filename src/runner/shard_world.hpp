@@ -1,0 +1,45 @@
+// Sharded execution of one experiment: the World decomposed across the
+// deterministically-parallel ShardedKernel (sim/shard.hpp).
+//
+// Cells are partitioned shard_of(c) = c % shards. Every piece of mutable
+// run state lives on exactly one shard and is only touched by events that
+// shard executes:
+//
+//   owner = cell c          node, node RNG, pause state, held backlog,
+//                           ground-truth ChannelSet, pending/active calls,
+//                           per-cell metric records (request cell = c)
+//   owner = link (a, b)     sender side (a): FIFO floor, transport tx
+//                           window, fault RNG, per-link delivery sequence;
+//                           receiver side (b): resequencing buffer
+//   per shard               message counters, transport stats, collector,
+//                           trace buffer, usage integral
+//
+// Cross-shard effects travel exclusively as message deliveries (delay >=
+// the latency floor), satisfying the kernel's lookahead contract. After
+// the run, per-shard results are merged exactly: integer counters and
+// int64 usage integrals sum; call records and trace events concatenate
+// and stable-sort by (time, cell), which reproduces the canonical global
+// order because same-(time, cell) entries always come from a single shard
+// in execution order. Cross-shard metric reads (the paper's N_borrow /
+// N_search neighbour samples) are reconstructed from per-cell flag-change
+// timelines instead of sampled live. The result is bit-identical to the
+// classic single-queue engine for any shard and thread count (see
+// docs/ARCHITECTURE.md for the argument and its limits).
+#pragma once
+
+#include "runner/experiment.hpp"
+#include "runner/scenario.hpp"
+#include "sim/trace.hpp"
+#include "traffic/profile.hpp"
+
+namespace dca::runner {
+
+/// Sharded counterpart of run_profile (experiment.hpp); run_profile
+/// dispatches here when config.shards > 1. The config must satisfy the
+/// sharded-mode restrictions enforced by validate_scenario.
+[[nodiscard]] RunResult run_profile_sharded(const ScenarioConfig& config,
+                                            Scheme scheme,
+                                            const traffic::LoadProfile& profile,
+                                            sim::TraceRecorder* trace = nullptr);
+
+}  // namespace dca::runner

@@ -6,12 +6,7 @@
 #include <string>
 #include <utility>
 
-#include "core/adaptive.hpp"
-#include "proto/advanced_search.hpp"
-#include "proto/advanced_update.hpp"
-#include "proto/basic_search.hpp"
-#include "proto/basic_update.hpp"
-#include "proto/fca.hpp"
+#include "runner/node_factory.hpp"
 
 namespace dca::runner {
 
@@ -49,7 +44,8 @@ World::World(const ScenarioConfig& config, Scheme scheme,
       plan_(config.greedy_plan
                 ? cell::ReusePlan::greedy(grid_, config.n_channels)
                 : cell::ReusePlan::cluster(grid_, config.n_channels, config.cluster)),
-      mobility_rng_(sim::RngStream::derive(config.seed, 0xd3e11ull)) {
+      mobility_rng_(sim::RngStream::derive(config.seed, 0xd3e11ull)),
+      noise_(config.seed, config.radio_fade_prob, config.radio_fade_bucket) {
   // A broken reuse plan voids every guarantee downstream; fail fast even
   // in release builds (e.g. a torus whose dimensions don't fit the
   // cluster pattern: cluster 7 needs rows % 14 == 0 and cols % 7 == 0).
@@ -94,29 +90,7 @@ World::World(const ScenarioConfig& config, Scheme scheme,
   for (cell::CellId c = 0; c < grid_.n_cells(); ++c) {
     proto::NodeContext ctx{c, &grid_, &plan_, this,
                            proto::Resilience{config_.request_timeout}};
-    switch (scheme_) {
-      case Scheme::kFca:
-        nodes_.push_back(std::make_unique<proto::FcaNode>(ctx));
-        break;
-      case Scheme::kBasicSearch:
-        nodes_.push_back(std::make_unique<proto::BasicSearchNode>(ctx));
-        break;
-      case Scheme::kBasicUpdate:
-        nodes_.push_back(std::make_unique<proto::BasicUpdateNode>(
-            ctx, config_.max_update_attempts, config_.update_pick));
-        break;
-      case Scheme::kAdvancedUpdate:
-        nodes_.push_back(std::make_unique<proto::AdvancedUpdateNode>(
-            ctx, config_.max_update_attempts));
-        break;
-      case Scheme::kAdvancedSearch:
-        nodes_.push_back(std::make_unique<proto::AdvancedSearchNode>(
-            ctx, config_.max_update_attempts));
-        break;
-      case Scheme::kAdaptive:
-        nodes_.push_back(std::make_unique<core::AdaptiveNode>(ctx, config_.adaptive));
-        break;
-    }
+    nodes_.push_back(make_node(ctx, scheme_, config_));
   }
 }
 
@@ -188,6 +162,10 @@ sim::Duration World::latency_bound() const { return net_->max_one_way_latency();
 
 sim::RngStream& World::rng(cell::CellId cellId) {
   return node_rng_[static_cast<std::size_t>(cellId)];
+}
+
+bool World::channel_usable(cell::CellId cellId, cell::ChannelId ch) const {
+  return noise_.usable(cellId, ch, sim_.now());
 }
 
 void World::notify_acquired(cell::CellId cellId, std::uint64_t serial,

@@ -19,6 +19,7 @@
 #include "metrics/collector.hpp"
 #include "net/network.hpp"
 #include "proto/allocator.hpp"
+#include "radio/noise.hpp"
 #include "runner/scenario.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -57,6 +58,8 @@ class World final : public proto::NodeEnv {
   sim::EventId schedule_in(sim::Duration delay, std::function<void()> fn) override;
   void cancel_scheduled(sim::EventId id) override;
   void record(const sim::TraceEvent& ev) override;
+  [[nodiscard]] bool channel_usable(cell::CellId cellId,
+                                    cell::ChannelId ch) const override;
 
   /// Attaches a structured-trace sink (also wired into the network for
   /// fault/pause events). Call before running; pass nullptr to detach.
@@ -135,6 +138,7 @@ class World final : public proto::NodeEnv {
   std::vector<sim::RngStream> node_rng_;
   sim::RngStream mobility_rng_;
   std::vector<sim::RngStream> pause_rng_;  // per-cell MSS pause timeline
+  radio::NoiseField noise_;
   metrics::Collector collector_;
   sim::TraceRecorder* recorder_ = nullptr;
 

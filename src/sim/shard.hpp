@@ -1,0 +1,227 @@
+// Shard-aware deterministically-parallel discrete-event kernel.
+//
+// The classic Simulator (simulator.hpp) executes one global event heap and
+// breaks timestamp ties by insertion order — a total order that exists only
+// on a single thread. This kernel partitions events across shards (cells
+// are mapped to shards; every event is owned by exactly one cell) and
+// replaces insertion-order tie-breaking with a *canonical event key*
+//
+//     (when, owner cell, class, sub, seq)
+//
+// that is a pure function of the scenario, never of execution interleaving.
+// Shards therefore execute their own queues independently inside a
+// conservative synchronization window and still produce bit-identical
+// results for any shard count and any thread count.
+//
+// Conservative window: all cross-shard interactions are message deliveries
+// carrying at least the network's minimum one-way latency L (the lookahead).
+// A window spans [W, W + L); an event executing at t >= W can only create
+// cross-shard work at t + d >= W + L, i.e. strictly beyond the window, so
+// the shards never need to see each other's state mid-window. Cross-shard
+// events travel through per-(source, destination) outboxes that are merged
+// into the owning shard's queue at the window barrier; merge order is
+// irrelevant because the queue orders by canonical key.
+//
+// Threading: N worker threads claim shards off an atomic counter each
+// window and meet at a single std::barrier per window (outboxes are double
+// buffered, so draining window k's mail overlaps with writing window
+// k+1's). The thread count affects wall-clock only, never results.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace dca::sim {
+
+// Canonical event classes, ordered to reproduce the legacy insertion-order
+// tie-break for the systematic same-instant collisions (see
+// docs/ARCHITECTURE.md "Determinism contract"):
+//   * control (pause/resume timelines) is scheduled far ahead of anything
+//     else that could share its instant;
+//   * protocol/transport timers are always armed before any same-instant
+//     message delivery is scheduled (a delivery is created at most one
+//     latency before it fires; timers at least one timeout before);
+//   * deliveries tie with each other constantly (fixed latency puts every
+//     broadcast fan-out on the same instant) and order by source cell then
+//     per-link sequence — exactly the order the sends were issued in.
+inline constexpr std::uint8_t kClassControl = 0;
+inline constexpr std::uint8_t kClassArrival = 1;
+inline constexpr std::uint8_t kClassProgress = 2;
+inline constexpr std::uint8_t kClassTimer = 3;
+inline constexpr std::uint8_t kClassDelivery = 4;
+
+/// Strict total order over events; member declaration order IS the sort
+/// order. `sub` disambiguates within a class (deliveries: source cell),
+/// `seq` within (owner, class, sub) (deliveries: per-link send counter;
+/// local classes: the owner cell's scheduling counter).
+struct EventKey {
+  SimTime when = 0;
+  std::int32_t owner = 0;  // owning cell; maps to a shard
+  std::uint8_t klass = kClassControl;
+  std::int32_t sub = 0;
+  std::uint64_t seq = 0;
+
+  friend constexpr auto operator<=>(const EventKey&, const EventKey&) = default;
+};
+
+/// One shard's pending-event set, ordered by canonical key with the same
+/// lazy-cancellation scheme as sim::EventQueue.
+class ShardQueue {
+ public:
+  using Action = std::function<void()>;
+
+  EventId schedule(const EventKey& key, Action action) {
+    const EventId id = next_id_++;
+    heap_.push(Entry{key, id, std::move(action)});
+    live_.insert(id);
+    return id;
+  }
+
+  void cancel(EventId id) {
+    if (id == kInvalidEventId) return;
+    if (live_.erase(id) != 0) cancelled_.insert(id);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return live_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return live_.size(); }
+
+  /// Key of the earliest live event. Precondition: !empty().
+  [[nodiscard]] const EventKey& next_key() {
+    purge();
+    return heap_.top().key;
+  }
+
+  struct Fired {
+    EventKey key;
+    Action action;
+  };
+  Fired pop() {
+    purge();
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    live_.erase(top.id);
+    return Fired{top.key, std::move(top.action)};
+  }
+
+ private:
+  struct Entry {
+    EventKey key;
+    EventId id;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return b.key < a.key;
+    }
+  };
+
+  void purge() {
+    while (!heap_.empty()) {
+      auto it = cancelled_.find(heap_.top().id);
+      if (it == cancelled_.end()) break;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> live_;
+  EventId next_id_ = 1;
+};
+
+class ShardedKernel {
+ public:
+  using Action = std::function<void()>;
+
+  /// `lookahead` must be a lower bound on the delay of every cross-shard
+  /// event (the network's minimum one-way latency); it must be positive.
+  /// `n_threads` <= 0 selects one thread per shard.
+  ShardedKernel(int n_cells, int n_shards, Duration lookahead, int n_threads);
+
+  ShardedKernel(const ShardedKernel&) = delete;
+  ShardedKernel& operator=(const ShardedKernel&) = delete;
+
+  [[nodiscard]] int n_shards() const noexcept { return n_shards_; }
+  [[nodiscard]] int n_threads() const noexcept { return n_threads_; }
+  [[nodiscard]] int shard_of(std::int32_t cellId) const noexcept {
+    return static_cast<int>(cellId % n_shards_);
+  }
+
+  /// Virtual time of one shard (the `when` of its last executed event,
+  /// or the run_until deadline if that is later).
+  [[nodiscard]] SimTime now(int shard) const {
+    return shards_[static_cast<std::size_t>(shard)].now;
+  }
+  /// Latest shard clock — the instant of the last event executed anywhere.
+  [[nodiscard]] SimTime max_now() const;
+
+  /// Schedules an event into the queue of key.owner's shard. Callable
+  /// during setup (single-threaded, before run) or from inside an
+  /// executing event. Cross-shard scheduling while running requires
+  /// key.when to land beyond the current window (the lookahead contract);
+  /// violating it aborts. Returns a cancellation handle for same-shard
+  /// events, kInvalidEventId for cross-shard ones (deliveries are never
+  /// cancelled).
+  EventId schedule(const EventKey& key, Action action);
+
+  /// Cancels a same-shard event by its owner cell and handle.
+  void cancel(std::int32_t owner, EventId id);
+
+  /// Executes every event with when <= deadline (windowed, in parallel),
+  /// then advances all shard clocks to the deadline.
+  void run_until(SimTime deadline);
+
+  /// Drains every queue completely.
+  void run_to_quiescence() { run_until(kTimeNever); }
+
+  /// Total events executed across all shards.
+  [[nodiscard]] std::uint64_t executed() const;
+
+  /// Total live pending events across all shards.
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  struct OutboxEntry {
+    EventKey key;
+    Action action;
+  };
+  // Cache-line separation: each shard's queue/clock is written by whichever
+  // worker claimed it, one claim per window.
+  struct alignas(64) Shard {
+    ShardQueue queue;
+    SimTime now = kTimeZero;
+    std::uint64_t executed = 0;
+  };
+
+  void drain_and_execute(int s);
+  void window_barrier_completion();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  int n_shards_;
+  int n_threads_;
+  Duration lookahead_;
+  std::vector<Shard> shards_;
+  // outbox_[parity][src * n_shards + dst]; writers fill parity_, readers
+  // drain 1 - parity_. The barrier completion flips parity.
+  std::vector<std::vector<OutboxEntry>> outbox_[2];
+  int parity_ = 0;
+
+  bool running_ = false;     // inside run_until's worker phase
+  SimTime deadline_ = kTimeNever;
+  SimTime window_cap_ = kTimeZero;  // events with key.when < cap execute
+  bool stop_ = false;
+  std::atomic<int> claim_{0};
+};
+
+}  // namespace dca::sim

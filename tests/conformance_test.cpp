@@ -227,5 +227,44 @@ TEST(TraceJsonl, RejectsMalformedLines) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST(TraceDiff, IdenticalTracesReportIdentical) {
+  runner::ScenarioConfig cfg = base_config();
+  cfg.duration = sim::minutes(1);
+  sim::TraceRecorder rec;
+  (void)runner::run_uniform(cfg, Scheme::kBasicSearch, 0.7, &rec);
+  ASSERT_GT(rec.size(), 3u);
+  const auto d = runner::diff_traces(rec.events(), rec.events());
+  EXPECT_TRUE(d.identical);
+  EXPECT_EQ(d.size_a, rec.size());
+  EXPECT_EQ(d.size_b, rec.size());
+}
+
+TEST(TraceDiff, ReportsFirstDivergingIndex) {
+  runner::ScenarioConfig cfg = base_config();
+  cfg.duration = sim::minutes(1);
+  sim::TraceRecorder rec;
+  (void)runner::run_uniform(cfg, Scheme::kBasicSearch, 0.7, &rec);
+  ASSERT_GT(rec.size(), 10u);
+  std::vector<TraceEvent> mutated = rec.events();
+  mutated[7].cell += 1;
+  const auto d = runner::diff_traces(rec.events(), mutated);
+  EXPECT_FALSE(d.identical);
+  EXPECT_EQ(d.index, 7u);
+  EXPECT_NE(d.description.find("event 7"), std::string::npos);
+}
+
+TEST(TraceDiff, LengthMismatchDivergesAtCommonPrefixEnd) {
+  std::vector<TraceEvent> a(5), b(5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i].t = b[i].t = static_cast<sim::SimTime>(i);
+  }
+  b.push_back(TraceEvent{});
+  const auto d = runner::diff_traces(a, b);
+  EXPECT_FALSE(d.identical);
+  EXPECT_EQ(d.index, 5u);
+  EXPECT_EQ(d.size_a, 5u);
+  EXPECT_EQ(d.size_b, 6u);
+}
+
 }  // namespace
 }  // namespace dca

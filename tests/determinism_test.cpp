@@ -40,6 +40,16 @@ void expect_same_result(const RunResult& a, const RunResult& b,
   EXPECT_EQ(a.violations, b.violations);
   EXPECT_EQ(a.carried_erlangs, b.carried_erlangs);  // bit-exact, not near
   EXPECT_EQ(a.agg.delay_in_T.mean(), b.agg.delay_in_T.mean());
+  EXPECT_EQ(a.agg.delay_us.mean(), b.agg.delay_us.mean());
+  EXPECT_EQ(a.agg.messages_per_call.mean(), b.agg.messages_per_call.mean());
+  EXPECT_EQ(a.agg.xi1, b.agg.xi1);
+  EXPECT_EQ(a.agg.xi2, b.agg.xi2);
+  EXPECT_EQ(a.agg.xi3, b.agg.xi3);
+  EXPECT_EQ(a.agg.mean_update_attempts, b.agg.mean_update_attempts);
+  EXPECT_EQ(a.agg.mean_borrowing_neighbors, b.agg.mean_borrowing_neighbors);
+  EXPECT_EQ(a.agg.mean_searching_neighbors, b.agg.mean_searching_neighbors);
+  EXPECT_EQ(a.messages_by_kind, b.messages_by_kind);
+  EXPECT_EQ(a.quiescent, b.quiescent);
   EXPECT_EQ(a.transport, b.transport);
 }
 
@@ -78,6 +88,76 @@ TEST(Determinism, FaultInjectedRunReplaysBitIdentically) {
     EXPECT_EQ(rec_a.events(), rec_b.events())
         << runner::scheme_name(s) << ": full event traces must be identical";
   }
+}
+
+// The tentpole guarantee: partitioning the world across shards (and any
+// worker thread count) reproduces the classic single-queue engine bit for
+// bit — headline metrics, FP aggregates, and the full structured trace.
+TEST(Determinism, ShardedEngineMatchesClassicBitExactly) {
+  const runner::ScenarioConfig cfg = small_config();
+  for (const Scheme s : {Scheme::kBasicSearch, Scheme::kAdaptive}) {
+    SCOPED_TRACE(runner::scheme_name(s));
+    sim::TraceRecorder rec1, rec4, rec8;
+    const RunResult r1 = runner::run_uniform(cfg, s, 0.8, &rec1);
+
+    runner::ScenarioConfig c4 = cfg;
+    c4.shards = 4;
+    c4.threads = 2;
+    const RunResult r4 = runner::run_uniform(c4, s, 0.8, &rec4);
+
+    runner::ScenarioConfig c8 = cfg;
+    c8.shards = 8;
+    c8.threads = 0;  // one thread per shard (capped by hardware)
+    const RunResult r8 = runner::run_uniform(c8, s, 0.8, &rec8);
+
+    expect_same_result(r1, r4, "shards=1 vs shards=4");
+    expect_same_result(r1, r8, "shards=1 vs shards=8");
+    ASSERT_GT(rec1.size(), 0u);
+    EXPECT_EQ(rec1.events(), rec4.events()) << "merged trace, shards=4";
+    EXPECT_EQ(rec1.events(), rec8.events()) << "merged trace, shards=8";
+  }
+}
+
+// Same guarantee with the full fault cocktail: drops, duplicates, fault
+// jitter, MSS pauses, and protocol timeouts all live on per-cell/per-link
+// streams, so the shard decomposition cannot perturb them.
+TEST(Determinism, ShardedEngineMatchesClassicUnderFaults) {
+  runner::ScenarioConfig cfg = small_config();
+  cfg.fault.drop_prob = 0.08;
+  cfg.fault.dup_prob = 0.05;
+  cfg.fault.jitter = sim::milliseconds(3);
+  cfg.fault.pause_rate_per_min = 0.5;
+  cfg.fault.pause_mean_s = 1.0;
+  cfg.request_timeout = sim::milliseconds(400);
+
+  for (const Scheme s : {Scheme::kBasicSearch, Scheme::kAdaptive}) {
+    SCOPED_TRACE(runner::scheme_name(s));
+    sim::TraceRecorder rec1, rec4;
+    const RunResult r1 = runner::run_uniform(cfg, s, 0.8, &rec1);
+
+    runner::ScenarioConfig c4 = cfg;
+    c4.shards = 4;
+    c4.threads = 4;
+    const RunResult r4 = runner::run_uniform(c4, s, 0.8, &rec4);
+
+    expect_same_result(r1, r4, "faults, shards=1 vs shards=4");
+    EXPECT_GT(r1.transport.frames_dropped, 0u) << "faults should be active";
+    EXPECT_EQ(rec1.events(), rec4.events()) << "merged trace under faults";
+  }
+}
+
+// Thread count must be wall-clock-only: same shard count, different
+// worker counts, identical everything.
+TEST(Determinism, ShardedThreadCountIsResultInvariant) {
+  runner::ScenarioConfig cfg = small_config();
+  cfg.shards = 5;
+  sim::TraceRecorder rec_a, rec_b;
+  cfg.threads = 1;
+  const RunResult a = runner::run_uniform(cfg, Scheme::kAdaptive, 0.8, &rec_a);
+  cfg.threads = 5;
+  const RunResult b = runner::run_uniform(cfg, Scheme::kAdaptive, 0.8, &rec_b);
+  expect_same_result(a, b, "threads=1 vs threads=5");
+  EXPECT_EQ(rec_a.events(), rec_b.events());
 }
 
 TEST(Determinism, TracingItselfDoesNotPerturbTheRun) {

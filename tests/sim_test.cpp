@@ -161,6 +161,58 @@ TEST(Simulator, ExecutedCountsEvents) {
   EXPECT_EQ(s.executed(), 7u);
 }
 
+// -- run_until tie handling (the legacy-order contract the sharded
+//    kernel's canonical keys must reproduce; see docs/ARCHITECTURE.md) --
+
+TEST(Simulator, SameInstantEventsFireInSchedulingOrder) {
+  Simulator s;
+  std::vector<int> fired;
+  s.schedule_at(100, [&] { fired.push_back(1); });
+  s.schedule_at(100, [&] {
+    fired.push_back(2);
+    // An event scheduled mid-instant for the same instant runs after
+    // everything already queued there (insertion order is the tie-break).
+    s.schedule_at(100, [&] { fired.push_back(4); });
+  });
+  s.schedule_at(100, [&] { fired.push_back(3); });
+  s.run_until(100);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Simulator, CancelOfAlreadyPoppedEventIsHarmless) {
+  Simulator s;
+  int fired = 0;
+  const EventId a = s.schedule_in(10, [&] { ++fired; });
+  EventId b = kInvalidEventId;
+  b = s.schedule_in(20, [&] { ++fired; });
+  s.run_until(15);
+  EXPECT_EQ(fired, 1);
+  s.cancel(a);  // already fired: must not corrupt the pending set
+  EXPECT_EQ(s.pending(), 1u);
+  s.cancel(a);  // and twice
+  s.run_to_quiescence();
+  EXPECT_EQ(fired, 2);
+  s.cancel(b);  // after the whole queue drained
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, ScheduleAtInThePastClampsToNow) {
+  Simulator s;
+  std::vector<SimTime> fired_at;
+  s.schedule_at(50, [&] {
+    // "In the past" from inside an event at t=50.
+    s.schedule_at(10, [&] { fired_at.push_back(s.now()); });
+  });
+  s.schedule_at(60, [&] { fired_at.push_back(s.now()); });
+  s.run_to_quiescence();
+  // The clamped event fires at 50 (current instant), before the one at 60.
+  ASSERT_EQ(fired_at.size(), 2u);
+  EXPECT_EQ(fired_at[0], 50);
+  EXPECT_EQ(fired_at[1], 60);
+  EXPECT_EQ(s.executed(), 3u);
+}
+
 TEST(Rng, SameSeedSameSequence) {
   RngStream a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());

@@ -76,6 +76,10 @@ int main(int argc, char** argv) {
       .add_double("pause-rate", 0.0, "fault: MSS pauses per minute per cell")
       .add_double("pause-mean-s", 0.0, "fault: mean MSS pause length [s]")
       .add_double("timeout-ms", 0.0, "protocol request timeout (0 = no timers)")
+      .add_int("shards", 1, "event-engine shards (1 = classic engine)")
+      .add_int("threads", 0, "sharded-engine workers (0 = one per shard)")
+      .add_double("fade-prob", 0.0, "radio: per-(cell,channel) fade probability")
+      .add_double("fade-bucket-ms", 1000.0, "radio: fade coherence time [ms]")
       .add_string("config", "", "scenario file applied before other options")
       .add_string("trace", "", "write the structured event trace (JSONL) here")
       .add_flag("conformance", "check the trace against the paper's invariants")
@@ -149,6 +153,12 @@ int main(int argc, char** argv) {
   if (use("pause-mean-s")) cfg.fault.pause_mean_s = args.get_double("pause-mean-s");
   if (use("timeout-ms"))
     cfg.request_timeout = sim::from_seconds(args.get_double("timeout-ms") / 1000.0);
+  if (use("shards")) cfg.shards = static_cast<int>(args.get_int("shards"));
+  if (use("threads")) cfg.threads = static_cast<int>(args.get_int("threads"));
+  if (use("fade-prob")) cfg.radio_fade_prob = args.get_double("fade-prob");
+  if (use("fade-bucket-ms"))
+    cfg.radio_fade_bucket =
+        sim::from_seconds(args.get_double("fade-bucket-ms") / 1000.0);
 
   if (const std::string problem = runner::validate_scenario(cfg); !problem.empty()) {
     std::fprintf(stderr, "dcasim: invalid scenario: %s\n", problem.c_str());
