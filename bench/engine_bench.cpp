@@ -1,23 +1,32 @@
 // Engine throughput benchmark: the sharded deterministic-parallel kernel
 // against the classic single-queue engine on a large fixed-seed scenario.
 //
-// Emits BENCH_engine.json with wall-clock and events/sec per scheme at
-// shards=1 and shards=N so the performance trajectory is tracked run over
-// run, and finishes with a ConformanceChecker pass over the merged
-// sharded trace (the speedup is worthless if the merge is wrong).
+// Appends one timestamped trajectory entry per run to BENCH_engine.json
+// (a JSON array; a legacy single-object file is wrapped on first append)
+// so the performance trajectory is tracked run over run, with
+// scheme/shards/partition/git-rev metadata per entry. Each run also
+// measures the striped-vs-blocks partition on a 12x12 grid at shards=4
+// (cross-shard protocol messages — the engine-cost metric the
+// geometry-aware partition exists to shrink) and finishes with a
+// ConformanceChecker pass over the merged sharded trace (the speedup is
+// worthless if the merge is wrong).
 //
 // The scenario is chosen for event density rather than paper fidelity:
 // short holding times at high load on a large grid keep every cell's
 // queue busy, so the per-window parallelism is real work, not idle
 // barriers.
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "cell/partition.hpp"
 #include "metrics/json.hpp"
 #include "runner/conformance.hpp"
 #include "runner/experiment.hpp"
@@ -43,10 +52,15 @@ dca::runner::ScenarioConfig bench_config() {
   return c;
 }
 
+const char* partition_name(dca::cell::Partition p) {
+  return p == dca::cell::Partition::kStriped ? "striped" : "blocks";
+}
+
 struct Measurement {
   std::string scheme;
   int shards = 1;
   int threads = 1;
+  std::string partition;
   double wall_s = 0.0;
   std::uint64_t events = 0;
   double events_per_sec = 0.0;
@@ -61,13 +75,94 @@ Measurement measure(const dca::runner::ScenarioConfig& cfg, Scheme scheme,
   m.scheme = name;
   m.shards = cfg.shards;
   m.threads = cfg.threads;
+  m.partition = partition_name(cfg.partition);
   m.wall_s = std::chrono::duration<double>(t1 - t0).count();
   m.events = r.executed_events;
   m.events_per_sec = m.wall_s > 0 ? static_cast<double>(m.events) / m.wall_s : 0;
-  std::printf("  %-14s shards=%d threads=%d  %9.3f s  %12llu events  %12.0f ev/s\n",
-              name.c_str(), m.shards, m.threads, m.wall_s,
+  std::printf("  %-14s shards=%d threads=%d partition=%-7s  %9.3f s  %12llu events  %12.0f ev/s\n",
+              name.c_str(), m.shards, m.threads, m.partition.c_str(), m.wall_s,
               static_cast<unsigned long long>(m.events), m.events_per_sec);
   return m;
+}
+
+/// Cross-shard protocol messages under a given partition on the 12x12
+/// comparison scenario. Simulation outputs are bit-identical either way;
+/// only this engine-cost metric moves.
+std::uint64_t cross_shard_count(dca::cell::Partition p) {
+  dca::runner::ScenarioConfig c = bench_config();
+  c.rows = 12;
+  c.cols = 12;
+  c.duration = dca::sim::seconds(30);
+  c.shards = 4;
+  c.partition = p;
+  const RunResult r = dca::runner::run_uniform(c, Scheme::kAdaptive, 0.9);
+  return r.cross_shard_messages;
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+std::string git_rev() {
+  std::string rev = "unknown";
+  if (FILE* p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof buf, p)) {
+      rev.assign(buf);
+      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r'))
+        rev.pop_back();
+    }
+    pclose(p);
+    if (rev.empty()) rev = "unknown";
+  }
+  return rev;
+}
+
+std::string read_file(const char* path) {
+  std::string out;
+  if (FILE* f = std::fopen(path, "rb")) {
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+    std::fclose(f);
+  }
+  return out;
+}
+
+/// Appends `entry` (a JSON object) to the trajectory array in `path`.
+/// Handles three prior states: missing/empty file, a legacy single-object
+/// file (wrapped into a one-element array first), and an existing array.
+bool append_trajectory(const char* path, const std::string& entry) {
+  std::string prior = read_file(path);
+  // Trim trailing whitespace so we can splice before the closing bracket.
+  while (!prior.empty() && std::isspace(static_cast<unsigned char>(prior.back())))
+    prior.pop_back();
+
+  std::string merged;
+  if (prior.empty()) {
+    merged = "[\n" + entry + "\n]";
+  } else if (prior.front() == '[' && prior.back() == ']') {
+    prior.pop_back();
+    while (!prior.empty() && std::isspace(static_cast<unsigned char>(prior.back())))
+      prior.pop_back();
+    const bool was_empty_array = prior == "[";
+    merged = prior + (was_empty_array ? "\n" : ",\n") + entry + "\n]";
+  } else {
+    // Legacy single-object format: preserve it as the first entry.
+    merged = "[\n" + prior + ",\n" + entry + "\n]";
+  }
+
+  FILE* f = std::fopen(path, "w");
+  if (!f) return false;
+  std::fwrite(merged.data(), 1, merged.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace
@@ -107,6 +202,19 @@ int main(int argc, char** argv) {
                 base > 0 ? par / base : 0.0);
   }
 
+  // Partition engine-cost comparison: same simulation, different cell->
+  // shard maps. Blocks should need far fewer cross-shard messages than
+  // stripes because interference neighbourhoods are geometrically local.
+  dca::benchutil::heading("cross-shard messages: striped vs blocks (12x12, shards=4)");
+  const std::uint64_t xs_striped = cross_shard_count(dca::cell::Partition::kStriped);
+  const std::uint64_t xs_blocks = cross_shard_count(dca::cell::Partition::kBlocks);
+  const double xs_ratio =
+      xs_striped > 0 ? static_cast<double>(xs_blocks) / static_cast<double>(xs_striped)
+                     : 0.0;
+  std::printf("striped=%llu blocks=%llu  blocks/striped=%.3f\n",
+              static_cast<unsigned long long>(xs_striped),
+              static_cast<unsigned long long>(xs_blocks), xs_ratio);
+
   // Determinism sanity for the record: events/sec means nothing if the
   // sharded engine diverged. The merged trace must satisfy every
   // conformance invariant (incl. reuse-distance, which substitutes for
@@ -130,6 +238,10 @@ int main(int argc, char** argv) {
   w.begin_object();
   w.key("bench");
   w.value("engine");
+  w.key("timestamp_utc");
+  w.value(utc_timestamp());
+  w.key("git_rev");
+  w.value(git_rev());
   w.key("hardware_threads");
   w.value(static_cast<std::int64_t>(hw));
   w.key("rho");
@@ -146,6 +258,8 @@ int main(int argc, char** argv) {
     w.value(m.shards);
     w.key("threads");
     w.value(m.threads);
+    w.key("partition");
+    w.value(m.partition);
     w.key("wall_s");
     w.value(m.wall_s);
     w.key("events");
@@ -155,14 +269,25 @@ int main(int argc, char** argv) {
     w.end_object();
   }
   w.end_array();
+  w.key("partition_comparison");
+  w.begin_object();
+  w.key("grid");
+  w.value("12x12");
+  w.key("shards");
+  w.value(std::int64_t{4});
+  w.key("scheme");
+  w.value("adaptive");
+  w.key("striped_cross_shard_messages");
+  w.value(xs_striped);
+  w.key("blocks_cross_shard_messages");
+  w.value(xs_blocks);
+  w.key("blocks_over_striped");
+  w.value(xs_ratio);
+  w.end_object();
   w.end_object();
 
-  const std::string json = w.str();
-  if (FILE* f = std::fopen("BENCH_engine.json", "w")) {
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    std::printf("\nwrote BENCH_engine.json\n");
+  if (append_trajectory("BENCH_engine.json", w.str())) {
+    std::printf("\nappended trajectory entry to BENCH_engine.json\n");
   } else {
     std::fprintf(stderr, "engine_bench: cannot write BENCH_engine.json\n");
     return 1;

@@ -1,0 +1,99 @@
+#include "cell/partition.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dca::cell {
+
+std::vector<int> striped_partition(int n_cells, int n_shards) {
+  std::vector<int> map(static_cast<std::size_t>(n_cells));
+  for (int c = 0; c < n_cells; ++c) {
+    map[static_cast<std::size_t>(c)] = c % n_shards;
+  }
+  return map;
+}
+
+std::vector<int> block_partition(const HexGrid& grid, int n_shards) {
+  const int rows = grid.rows();
+  const int cols = grid.cols();
+  const int n_cells = grid.n_cells();
+  if (n_shards < 1 || n_cells < n_shards) {
+    std::fprintf(stderr, "block_partition: invalid shard count %d for %d cells\n",
+                 n_shards, n_cells);
+    std::abort();
+  }
+
+  // Pick the pr x pc factorization (pr row bands x pc column bands) that
+  // minimizes total internal boundary length: cutting the grid into pr row
+  // bands exposes (pr - 1) * cols boundary edges, pc column bands
+  // (pc - 1) * rows. Fewer boundary edges = fewer interference pairs split
+  // across shards. Ties resolve to the first (smallest pr) factorization,
+  // keeping the map deterministic.
+  int best_pr = 0;
+  int best_pc = 0;
+  long long best_cut = -1;
+  for (int pr = 1; pr <= n_shards; ++pr) {
+    if (n_shards % pr != 0) continue;
+    const int pc = n_shards / pr;
+    if (pr > rows || pc > cols) continue;
+    const long long cut = static_cast<long long>(pr - 1) * cols +
+                          static_cast<long long>(pc - 1) * rows;
+    if (best_cut < 0 || cut < best_cut) {
+      best_cut = cut;
+      best_pr = pr;
+      best_pc = pc;
+    }
+  }
+
+  std::vector<int> map(static_cast<std::size_t>(n_cells));
+  if (best_cut < 0) {
+    // No factorization fits (e.g. 7 shards on a 6-row grid with cols < 7):
+    // fall back to contiguous row-major runs of ~n_cells/n_shards cells.
+    // Still contiguous — a run spans whole rows plus a partial row — so
+    // locality is preserved for most pairs.
+    for (int c = 0; c < n_cells; ++c) {
+      map[static_cast<std::size_t>(c)] =
+          static_cast<int>((static_cast<long long>(c) * n_shards) / n_cells);
+    }
+    return map;
+  }
+
+  // Band boundaries via floor(r * pr / rows): bands differ in size by at
+  // most one row/column, and the map is a pure function of (rows, cols,
+  // n_shards).
+  for (int r = 0; r < rows; ++r) {
+    const int band_row = (r * best_pr) / rows;
+    for (int c = 0; c < cols; ++c) {
+      const int band_col = (c * best_pc) / cols;
+      map[static_cast<std::size_t>(r * cols + c)] = band_row * best_pc + band_col;
+    }
+  }
+  return map;
+}
+
+std::vector<int> make_partition(const HexGrid& grid, int n_shards,
+                                Partition kind) {
+  switch (kind) {
+    case Partition::kStriped:
+      return striped_partition(grid.n_cells(), n_shards);
+    case Partition::kBlocks:
+      return block_partition(grid, n_shards);
+  }
+  std::abort();  // unreachable
+}
+
+std::size_t cross_shard_interference_pairs(const HexGrid& grid,
+                                           const std::vector<int>& partition) {
+  std::size_t n = 0;
+  for (CellId a = 0; a < grid.n_cells(); ++a) {
+    for (CellId b : grid.interference(a)) {
+      if (b > a && partition[static_cast<std::size_t>(a)] !=
+                       partition[static_cast<std::size_t>(b)]) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace dca::cell

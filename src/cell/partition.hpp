@@ -1,0 +1,56 @@
+// Cell -> shard partitions for the sharded simulation engine.
+//
+// The sharded kernel is partition-agnostic: results are bit-identical for
+// any cell -> shard map (the canonical event order never mentions shards).
+// What the map changes is *traffic*: every protocol message between cells
+// in different shards crosses a shard boundary and pays outbox/merge cost.
+// Since all protocol traffic is confined to interference neighbourhoods —
+// a cell talks only to cells within a few hops — a partition that keeps
+// hex-adjacent cells together makes most messages shard-local.
+//
+//   striped (legacy)            blocks (rows x cols = 6 x 8, 4 shards)
+//   0 1 2 3 0 1 2 3             0 0 0 0 1 1 1 1
+//    0 1 2 3 0 1 2 3             0 0 0 0 1 1 1 1
+//   0 1 2 3 0 1 2 3             0 0 0 0 1 1 1 1
+//    0 1 2 3 0 1 2 3             2 2 2 2 3 3 3 3
+//   0 1 2 3 0 1 2 3             2 2 2 2 3 3 3 3
+//    0 1 2 3 0 1 2 3             2 2 2 2 3 3 3 3
+//
+// Striping puts every neighbour pair in different shards; contiguous blocks
+// confine cross-shard pairs to the band boundaries.
+#pragma once
+
+#include <vector>
+
+#include "cell/grid.hpp"
+
+namespace dca::cell {
+
+/// How cells map onto shards.
+enum class Partition : std::uint8_t {
+  kStriped,  // cell % n_shards (legacy): maximally interleaved
+  kBlocks,   // contiguous hex blocks: interference-local
+};
+
+/// The legacy striped map: cell c -> c % n_shards.
+[[nodiscard]] std::vector<int> striped_partition(int n_cells, int n_shards);
+
+/// Geometry-aware map: splits the grid into a pr x pc array of contiguous
+/// rectangular hex blocks (pr * pc == n_shards), choosing the factorization
+/// that minimizes total boundary length. Falls back to contiguous row-major
+/// runs of cells when n_shards has no factorization fitting the grid.
+/// Deterministic: a pure function of (rows, cols, n_shards). Every cell is
+/// assigned exactly one shard in [0, n_shards).
+[[nodiscard]] std::vector<int> block_partition(const HexGrid& grid, int n_shards);
+
+/// Builds the requested partition for `grid`.
+[[nodiscard]] std::vector<int> make_partition(const HexGrid& grid, int n_shards,
+                                              Partition kind);
+
+/// Number of unordered interference pairs {a, b} (b ∈ IN(a)) whose cells
+/// land in different shards — a static proxy for cross-shard message
+/// volume, used by tests and benchmarks to compare partitions.
+[[nodiscard]] std::size_t cross_shard_interference_pairs(
+    const HexGrid& grid, const std::vector<int>& partition);
+
+}  // namespace dca::cell

@@ -23,15 +23,61 @@ AdaptiveNode::AdaptiveNode(const proto::NodeContext& ctx, const AdaptiveParams& 
                     ChannelSet(spectrum_size()));
   pending_grants_.assign(static_cast<std::size_t>(grid().n_cells()),
                          ChannelSet(spectrum_size()));
+  neighbor_mask_.assign(static_cast<std::size_t>(grid().n_cells()), 0);
+  for (const CellId j : interference())
+    neighbor_mask_[static_cast<std::size_t>(j)] = 1;
+  claim_count_.assign(static_cast<std::size_t>(spectrum_size()), 0);
+  interfered_cache_ = ChannelSet(spectrum_size());
 }
 
-ChannelSet AdaptiveNode::interfered() const {
-  ChannelSet out(spectrum_size());
-  for (const CellId j : interference()) {
-    out |= known_use_[static_cast<std::size_t>(j)];
-    out |= pending_grants_[static_cast<std::size_t>(j)];
+// ---------------------------------------------------------------------------
+// Incremental interference cache
+// ---------------------------------------------------------------------------
+
+void AdaptiveNode::bump_claim(ChannelId ch, int delta) {
+  std::uint16_t& n = claim_count_[static_cast<std::size_t>(ch)];
+  if (delta > 0) {
+    if (n++ == 0) interfered_cache_.insert(ch);
+  } else {
+    assert(n > 0);
+    if (--n == 0) interfered_cache_.erase(ch);
   }
-  return out;
+}
+
+void AdaptiveNode::set_known_use(CellId j, ChannelId ch, bool on) {
+  ChannelSet& s = known_use_[static_cast<std::size_t>(j)];
+  if (s.contains(ch) == on) return;
+  if (on) {
+    s.insert(ch);
+  } else {
+    s.erase(ch);
+  }
+  if (neighbor_mask_[static_cast<std::size_t>(j)]) bump_claim(ch, on ? 1 : -1);
+}
+
+void AdaptiveNode::set_pending_grant(CellId j, ChannelId ch, bool on) {
+  ChannelSet& s = pending_grants_[static_cast<std::size_t>(j)];
+  if (s.contains(ch) == on) return;
+  if (on) {
+    s.insert(ch);
+  } else {
+    s.erase(ch);
+  }
+  if (neighbor_mask_[static_cast<std::size_t>(j)]) bump_claim(ch, on ? 1 : -1);
+}
+
+void AdaptiveNode::assign_known_use(CellId j, const ChannelSet& nu) {
+  ChannelSet& s = known_use_[static_cast<std::size_t>(j)];
+  if (neighbor_mask_[static_cast<std::size_t>(j)]) {
+    const ChannelSet added = nu - s;
+    const ChannelSet removed = s - nu;
+    for (ChannelId c = added.first(); c != kNoChannel; c = added.next_after(c))
+      bump_claim(c, +1);
+    for (ChannelId c = removed.first(); c != kNoChannel;
+         c = removed.next_after(c))
+      bump_claim(c, -1);
+  }
+  s = nu;
 }
 
 int AdaptiveNode::free_primary_count() const {
@@ -462,8 +508,8 @@ void AdaptiveNode::check_mode() {
 
 void AdaptiveNode::handle_acquisition(const net::Message& msg) {
   if (msg.channel != kNoChannel) {
-    known_use_[static_cast<std::size_t>(msg.from)].insert(msg.channel);
-    pending_grants_[static_cast<std::size_t>(msg.from)].erase(msg.channel);
+    set_known_use(msg.from, msg.channel, true);
+    set_pending_grant(msg.from, msg.channel, false);
     check_mode();
   }
   if (msg.acq_type == net::AcqType::kSearch) {
@@ -487,8 +533,8 @@ void AdaptiveNode::handle_acquisition(const net::Message& msg) {
 }
 
 void AdaptiveNode::handle_release(const net::Message& msg) {
-  known_use_[static_cast<std::size_t>(msg.from)].erase(msg.channel);
-  pending_grants_[static_cast<std::size_t>(msg.from)].erase(msg.channel);
+  set_known_use(msg.from, msg.channel, false);
+  set_pending_grant(msg.from, msg.channel, false);
   check_mode();
   maybe_repack();  // one of our primaries may just have become free
 }
@@ -508,7 +554,7 @@ void AdaptiveNode::handle_response(const net::Message& msg) {
     case net::ResType::kStatus:
       // Fresh snapshot of the sender's Use set (grants we issued are
       // tracked separately in pending_grants_ and survive the overwrite).
-      known_use_[static_cast<std::size_t>(msg.from)] = msg.use;
+      assign_known_use(msg.from, msg.use);
       if (req_.has_value() && req_->phase == Phase::kWaitStatus &&
           msg.wave == req_->wave) {
         ++req_->statuses;
@@ -539,7 +585,7 @@ void AdaptiveNode::handle_response(const net::Message& msg) {
           msg.serial != req_->serial) {
         return;
       }
-      known_use_[static_cast<std::size_t>(msg.from)] = msg.use;
+      assign_known_use(msg.from, msg.use);
       ++req_->responses;
       if (req_->responses == static_cast<int>(interference().size())) {
         const ChannelSet freeSet =
@@ -681,8 +727,8 @@ void AdaptiveNode::send_grant(CellId to, std::uint64_t serial, std::uint64_t wav
   // The paper updates both I_i and U_j at grant time; the grant is also
   // remembered as pending so a later status snapshot cannot erase it while
   // the borrower's confirmation is in flight.
-  known_use_[static_cast<std::size_t>(to)].insert(r);
-  pending_grants_[static_cast<std::size_t>(to)].insert(r);
+  set_known_use(to, r, true);
+  set_pending_grant(to, r, true);
   net::Message resp;
   resp.kind = net::MsgKind::kResponse;
   resp.res_type = net::ResType::kGrant;

@@ -102,7 +102,9 @@ class AdaptiveNode final : public proto::AllocatorNode {
   }
   [[nodiscard]] std::size_t deferq_size() const noexcept { return defer_.size(); }
   [[nodiscard]] const NfcTracker& nfc() const noexcept { return nfc_; }
-  [[nodiscard]] cell::ChannelSet interfered() const;
+  [[nodiscard]] const cell::ChannelSet& interfered() const noexcept {
+    return interfered_cache_;
+  }
   [[nodiscard]] int free_primary_count() const;
   /// Mode-switch counters (ablation metrics).
   [[nodiscard]] std::uint64_t switches_to_borrowing() const noexcept {
@@ -181,6 +183,20 @@ class AdaptiveNode final : public proto::AllocatorNode {
   // -- extension: dynamic channel reassignment ----------------------------
   void maybe_repack();
 
+  // -- incremental interference cache ------------------------------------
+  // interfered() is the hottest query in the scheme (free_primary() runs
+  // on every local acquisition and inside check_mode()); recomputing the
+  // union over IN_i each time is O(|IN_i| * words). Instead we maintain a
+  // per-channel claim counter over both known_use_ and pending_grants_ of
+  // interference neighbours, and keep the union bitset current on every
+  // mutation: a channel enters the cache on its 0->1 claim and leaves on
+  // 1->0. All writes to known_use_/pending_grants_ MUST go through these
+  // wrappers so the cache never drifts from the vectors it mirrors.
+  void bump_claim(cell::ChannelId ch, int delta);
+  void set_known_use(cell::CellId j, cell::ChannelId ch, bool on);
+  void set_pending_grant(cell::CellId j, cell::ChannelId ch, bool on);
+  void assign_known_use(cell::CellId j, const cell::ChannelSet& nu);
+
   // -- helpers ------------------------------------------------------------
   void send_grant(cell::CellId to, std::uint64_t serial, std::uint64_t wave,
                   cell::ChannelId r);
@@ -204,6 +220,14 @@ class AdaptiveNode final : public proto::AllocatorNode {
   std::multiset<cell::CellId> awaiting_;
   std::vector<cell::ChannelSet> known_use_;                // U_j by cell id
   std::vector<cell::ChannelSet> pending_grants_;           // by cell id
+  // Cache state (see wrappers above). neighbor_mask_ marks IN_i members so
+  // writes about non-neighbours (harmless, and possible via broadcast
+  // paths) bypass the counters, matching interfered()'s old semantics of
+  // only unioning over interference(). Claims per channel are bounded by
+  // 2 * |IN_i| (known_use + pending_grants per neighbour), far below 2^16.
+  std::vector<std::uint8_t> neighbor_mask_;                // by cell id
+  std::vector<std::uint16_t> claim_count_;                 // by channel
+  cell::ChannelSet interfered_cache_;
   cell::ChannelSet borrowed_;                              // non-primary holdings
   std::uint64_t change_wave_ = 0;
   std::uint64_t to_borrowing_ = 0;

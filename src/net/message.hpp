@@ -6,7 +6,7 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 
 #include "cell/grid.hpp"
 #include "cell/spectrum.hpp"
@@ -93,7 +93,7 @@ struct Message {
   /// Transfer negotiation operation (kTransfer only).
   TransferOp transfer_op = TransferOp::kRequest;
 
-  [[nodiscard]] std::string kind_name() const {
+  [[nodiscard]] constexpr std::string_view kind_name() const {
     switch (kind) {
       case MsgKind::kRequest: return "REQUEST";
       case MsgKind::kResponse: return "RESPONSE";

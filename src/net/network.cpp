@@ -40,9 +40,13 @@ void Network::send(Message msg) {
   auto& floor_time = link_clock_[{msg.from, msg.to}];
   if (when < floor_time) when = floor_time;
   floor_time = when;
-  sim_.schedule_at(when, [this, m = std::move(msg)]() {
-    deliver_to_node(m);
-  });
+  auto deliver = [this, m = std::move(msg)]() { deliver_to_node(m); };
+  // The delivery closure (a full Message by value) is the hot-path event;
+  // it must stay inside EventFn's inline buffer or every send allocates.
+  static_assert(sim::EventFn::fits_inline<decltype(deliver)>(),
+                "Message delivery closure must fit EventFn's inline buffer; "
+                "grow sim::kEventFnCapacity if Message grew");
+  sim_.schedule_at(when, std::move(deliver));
 }
 
 // -- reliable transport over the lossy link ------------------------------

@@ -35,6 +35,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -119,6 +120,19 @@ class Network {
  private:
   using LinkKey = std::pair<cell::CellId, cell::CellId>;
 
+  /// Mixes a directed link into a hash in a handful of cycles; the send
+  /// hot path probes link_clock_ once per message.
+  struct LinkHash {
+    [[nodiscard]] std::size_t operator()(const LinkKey& k) const noexcept {
+      std::uint64_t v =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.first))
+           << 32) |
+          static_cast<std::uint32_t>(k.second);
+      v *= 0x9E3779B97F4A7C15ull;  // Fibonacci multiplicative mix
+      return static_cast<std::size_t>(v ^ (v >> 29));
+    }
+  };
+
   struct PendingFrame {
     Message msg;
     sim::EventId timer = sim::kInvalidEventId;
@@ -160,8 +174,10 @@ class Network {
 
   std::uint64_t total_ = 0;
   std::array<std::uint64_t, kNumMsgKinds> by_kind_{};
-  // Last scheduled delivery per directed link (FIFO floor).
-  std::map<LinkKey, sim::SimTime> link_clock_;
+  // Last scheduled delivery per directed link (FIFO floor). Hash map, not
+  // ordered: only ever probed by key (never iterated), so ordering cannot
+  // leak into results.
+  std::unordered_map<LinkKey, sim::SimTime, LinkHash> link_clock_;
 
   // Fault layer.
   FaultConfig fault_;

@@ -168,6 +168,14 @@ bool apply_scenario_text(const std::string& text, ScenarioConfig& config,
     } else if (key == "threads") {
       if (!parse_int(val, i)) return fail("int");
       config.threads = static_cast<int>(i);
+    } else if (key == "partition") {
+      if (val == "striped") {
+        config.partition = cell::Partition::kStriped;
+      } else if (val == "blocks") {
+        config.partition = cell::Partition::kBlocks;
+      } else {
+        return fail("striped|blocks");
+      }
     } else if (key == "radio_fade_prob") {
       if (!parse_double(val, d)) return fail("number");
       config.radio_fade_prob = d;
@@ -228,6 +236,9 @@ std::string scenario_to_text(const ScenarioConfig& c) {
   os << "timeout_ms = " << sim::to_milliseconds(c.request_timeout) << "\n";
   os << "shards = " << c.shards << "\n";
   os << "threads = " << c.threads << "\n";
+  os << "partition = "
+     << (c.partition == cell::Partition::kStriped ? "striped" : "blocks")
+     << "\n";
   os << "radio_fade_prob = " << c.radio_fade_prob << "\n";
   os << "radio_fade_bucket_ms = " << sim::to_milliseconds(c.radio_fade_bucket)
      << "\n";

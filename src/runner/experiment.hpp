@@ -22,6 +22,11 @@ struct RunResult {
   Scheme scheme = Scheme::kFca;
   metrics::Aggregate agg;
   std::uint64_t total_messages = 0;
+  /// Protocol messages whose sender and receiver cells live on different
+  /// shards (always 0 on the classic shards=1 engine). An engine-cost
+  /// metric, not a simulation result: it varies with shards/partition
+  /// while every simulation output stays bit-identical.
+  std::uint64_t cross_shard_messages = 0;
   std::array<std::uint64_t, net::kNumMsgKinds> messages_by_kind{};
   std::uint64_t offered_calls = 0;  // including warmup
   double carried_erlangs = 0.0;     // time-weighted channels in use

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "cell/grid.hpp"
+#include "cell/partition.hpp"
 #include "core/params.hpp"
 #include "net/fault.hpp"
 #include "proto/policy.hpp"
@@ -76,6 +77,12 @@ struct ScenarioConfig {
   /// Worker threads for the sharded engine; 0 = min(shards, hardware).
   /// Never affects results, only wall-clock.
   int threads = 0;
+  /// How cells map onto shards (shards > 1 only). Never affects results —
+  /// the canonical event order is partition-independent — only how many
+  /// messages cross shard boundaries. kBlocks keeps interference
+  /// neighbourhoods shard-local and is the default; kStriped is the legacy
+  /// cell % shards interleaving.
+  cell::Partition partition = cell::Partition::kBlocks;
 
   // Update-family retry cap (the paper's schemes may retry unboundedly;
   // see DESIGN.md faithfulness note 7).

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cell/grid.hpp"
+#include "cell/partition.hpp"
 #include "cell/reuse.hpp"
 #include "metrics/collector.hpp"
 #include "net/fault.hpp"
@@ -30,6 +31,20 @@ namespace {
 
 using cell::CellId;
 using LinkKey = std::pair<CellId, CellId>;
+
+/// Same link mix as net::Network::LinkHash: the per-send FIFO-floor and
+/// canonical-seq probes are hot, and the maps are never iterated, so hash
+/// ordering cannot leak into results.
+struct LinkHash {
+  [[nodiscard]] std::size_t operator()(const LinkKey& k) const noexcept {
+    std::uint64_t v =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.first))
+         << 32) |
+        static_cast<std::uint32_t>(k.second);
+    v *= 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(v ^ (v >> 29));
+  }
+};
 
 class ShardedWorld;
 
@@ -107,9 +122,10 @@ struct alignas(64) ShardState {
   // -- network (sender side keyed by link (from,to) with shard_of(from)
   //    == this shard; receiver side with shard_of(to) == this shard) ----
   std::uint64_t total_sent = 0;
+  std::uint64_t cross_shard_sent = 0;  // protocol messages leaving this shard
   std::array<std::uint64_t, net::kNumMsgKinds> by_kind{};
-  std::map<LinkKey, sim::SimTime> link_clock;     // FIFO floor (sender)
-  std::map<LinkKey, std::uint64_t> link_seq;      // canonical key seq (sender)
+  std::unordered_map<LinkKey, sim::SimTime, LinkHash> link_clock;  // FIFO floor (sender)
+  std::unordered_map<LinkKey, std::uint64_t, LinkHash> link_seq;   // canonical key seq (sender)
   std::map<LinkKey, LinkTx> tx;                   // transport send window
   std::map<LinkKey, LinkRx> rx;                   // transport resequencer
   std::map<LinkKey, sim::RngStream> fault_rng;    // per-link faults (sender)
@@ -158,11 +174,16 @@ class ShardedWorld {
   // scheduling counter; deliveries draw the directed link's sender-side
   // counter — both reproduce the legacy engine's insertion order within
   // their tie class.
+  // Templated on the callable so hot-path closures (message deliveries
+  // carrying a net::Message by value) flow straight into the kernel's
+  // EventFn inline buffer with no intermediate std::function allocation.
+  template <typename F>
   sim::EventId schedule_local(CellId owner, std::uint8_t klass,
-                              sim::SimTime when, std::function<void()> fn);
-  void schedule_delivery(CellId from, CellId to, sim::SimTime when,
-                         std::function<void()> fn);
-  sim::EventId schedule_key(const sim::EventKey& key, std::function<void()> fn);
+                              sim::SimTime when, F&& fn);
+  template <typename F>
+  void schedule_delivery(CellId from, CellId to, sim::SimTime when, F&& fn);
+  template <typename F>
+  sim::EventId schedule_key(const sim::EventKey& key, F&& fn);
   void flag_check(CellId owner);
 
   // Traffic (live per-cell Lewis–Shedler chains; ids preassigned).
@@ -297,8 +318,8 @@ ShardedWorld::ShardedWorld(const ScenarioConfig& config, Scheme scheme,
                                            config.cluster)),
       latency_(std::make_unique<net::FixedLatency>(config.latency)),
       noise_(config.seed, config.radio_fade_prob, config.radio_fade_bucket),
-      kernel_(grid_.n_cells(), config.shards, latency_->min_one_way(),
-              config.threads),
+      kernel_(cell::make_partition(grid_, config.shards, config.partition),
+              config.shards, latency_->min_one_way(), config.threads),
       states_(static_cast<std::size_t>(config.shards)) {
   if (!plan_.validate(grid_)) {
     std::fprintf(stderr, "ShardedWorld: reuse plan invalid for %dx%d grid\n",
@@ -369,37 +390,43 @@ ShardedWorld::ShardedWorld(const ScenarioConfig& config, Scheme scheme,
 
 // -- scheduling ------------------------------------------------------------
 
-sim::EventId ShardedWorld::schedule_key(const sim::EventKey& key,
-                                        std::function<void()> fn) {
+template <typename F>
+sim::EventId ShardedWorld::schedule_key(const sim::EventKey& key, F&& fn) {
   const int dest = kernel_.shard_of(key.owner);
   return kernel_.schedule(
-      key, [this, dest, owner = key.owner, f = std::move(fn)]() {
+      key, [this, dest, owner = key.owner, f = std::forward<F>(fn)]() mutable {
         states_[static_cast<std::size_t>(dest)].env.current = owner;
         f();
         flag_check(owner);
       });
 }
 
+template <typename F>
 sim::EventId ShardedWorld::schedule_local(CellId owner, std::uint8_t klass,
-                                          sim::SimTime when,
-                                          std::function<void()> fn) {
+                                          sim::SimTime when, F&& fn) {
   sim::EventKey key;
   key.when = when;
   key.owner = owner;
   key.klass = klass;
   key.seq = ++cell_seq_[static_cast<std::size_t>(owner)];
-  return schedule_key(key, std::move(fn));
+  return schedule_key(key, std::forward<F>(fn));
 }
 
+template <typename F>
 void ShardedWorld::schedule_delivery(CellId from, CellId to, sim::SimTime when,
-                                     std::function<void()> fn) {
+                                     F&& fn) {
+  // The delivery closure plus the dispatch wrapper must stay inside the
+  // kernel's inline callback buffer — this is the sharded hot path.
+  static_assert(sim::EventFn::fits_inline<std::decay_t<F>>(),
+                "delivery closure must fit EventFn's inline buffer; grow "
+                "sim::kEventFnCapacity if net::Message grew");
   sim::EventKey key;
   key.when = when;
   key.owner = to;
   key.klass = sim::kClassDelivery;
   key.sub = from;
   key.seq = ++state_of(from).link_seq[{from, to}];
-  (void)schedule_key(key, std::move(fn));
+  (void)schedule_key(key, std::forward<F>(fn));
 }
 
 void ShardedWorld::flag_check(CellId owner) {
@@ -539,6 +566,7 @@ void ShardedWorld::net_send(int s, net::Message msg) {
   assert(msg.from != msg.to && "nodes do not message themselves");
   ShardState& st = states_[static_cast<std::size_t>(s)];
   ++st.total_sent;
+  if (kernel_.shard_of(msg.to) != s) ++st.cross_shard_sent;
   ++st.by_kind[static_cast<std::size_t>(msg.kind)];
   // Metrics attribution (the legacy observer hook): bill locally when the
   // request cell lives on this shard, else log for the merge step —
@@ -941,6 +969,7 @@ RunResult ShardedWorld::result(sim::TraceRecorder* trace_out) {
   std::int64_t usage = 0;
   for (const ShardState& st : states_) {
     out.total_messages += st.total_sent;
+    out.cross_shard_messages += st.cross_shard_sent;
     for (int k = 0; k < net::kNumMsgKinds; ++k) {
       out.messages_by_kind[static_cast<std::size_t>(k)] +=
           st.by_kind[static_cast<std::size_t>(k)];

@@ -5,32 +5,26 @@
 // number makes the ordering a strict total order, which is what guarantees
 // replay determinism.
 //
-// Cancellation is supported through lazy deletion: cancel() marks the
-// event's slot and pop() skips cancelled entries. This keeps both schedule
-// and cancel at O(log n) amortized without the bookkeeping of an indexed
-// heap; cancelled entries are purged as they surface.
+// Storage is the slab/generation scheme from event_store.hpp: callbacks
+// live in a chunked pool, the heap holds 24-byte POD entries, and neither
+// schedule() nor pop() allocates once the pool is warm. cancel() is an O(1)
+// generation bump; cancelled entries are skipped lazily when they surface
+// at the top of the heap, with a compaction pass bounding heap memory at
+// O(live events) under sustained cancel traffic.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
+#include "sim/event_store.hpp"
+#include "sim/small_fn.hpp"
 #include "sim/types.hpp"
 
 namespace dca::sim {
 
-/// Opaque handle identifying a scheduled event; used only for cancellation.
-using EventId = std::uint64_t;
-
-/// Sentinel returned when a handle is not needed.
-inline constexpr EventId kInvalidEventId = 0;
-
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = EventFn;
 
   EventQueue() = default;
 
@@ -40,26 +34,32 @@ class EventQueue {
   /// Schedules `action` to fire at absolute time `when`.
   /// Returns a handle usable with cancel().
   EventId schedule(SimTime when, Action action) {
-    const EventId id = next_id_++;
-    heap_.push(Entry{when, id, std::move(action)});
-    live_ids_.insert(id);
-    return id;
+    const std::uint32_t slot = slab_.acquire(std::move(action));
+    const std::uint32_t gen = slab_.gen(slot);
+    heap_.push(Entry{when, seq_++, slot, gen});
+    ++live_;
+    return detail::make_event_id(slot, gen);
   }
 
   /// Cancels a previously scheduled event. Cancelling an event that already
-  /// fired (or was already cancelled) is a harmless no-op: only ids that
-  /// are actually live produce a tombstone, so stale handles can never
+  /// fired (or was already cancelled) is a harmless no-op: the handle's
+  /// generation no longer matches the slot, so stale handles can never
   /// corrupt the live count.
   void cancel(EventId id) {
     if (id == kInvalidEventId) return;
-    if (live_ids_.erase(id) != 0) cancelled_.insert(id);
+    const std::uint32_t slot = detail::event_slot(id);
+    if (!slab_.live(slot, detail::event_gen(id))) return;
+    slab_.discard(slot);
+    --live_;
+    ++stale_;
+    if (stale_ > live_ + detail::kHeapCompactSlack) compact();
   }
 
   /// True when no live (non-cancelled) events remain.
-  [[nodiscard]] bool empty() const noexcept { return live_ids_.empty(); }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
 
   /// Number of live events.
-  [[nodiscard]] std::size_t size() const noexcept { return live_ids_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
 
   /// Time of the earliest live event; kTimeNever when empty.
   [[nodiscard]] SimTime next_time() {
@@ -76,46 +76,66 @@ class EventQueue {
   };
   Fired pop() {
     purge();
-    Entry top = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    live_ids_.erase(top.id);
-    return Fired{top.when, top.id, std::move(top.action)};
+    const Entry top = heap_.top();
+    heap_.pop_top();
+    --live_;
+    return Fired{top.when, detail::make_event_id(top.slot, top.gen),
+                 slab_.release(top.slot)};
   }
 
   /// Discards all pending events.
   void clear() {
-    heap_ = {};
-    cancelled_.clear();
-    live_ids_.clear();
+    for (const Entry& e : heap_.entries()) {
+      if (slab_.live(e.slot, e.gen)) slab_.discard(e.slot);
+    }
+    heap_.clear();
+    live_ = 0;
+    stale_ = 0;
+  }
+
+  // Introspection for tests and benchmarks: slots ever allocated in the
+  // callback pool, and entries currently in the heap (live + stale).
+  [[nodiscard]] std::size_t pool_capacity() const noexcept {
+    return slab_.capacity();
+  }
+  [[nodiscard]] std::size_t heap_entries() const noexcept {
+    return heap_.size();
   }
 
  private:
   struct Entry {
     SimTime when;
-    EventId id;
-    Action action;
+    std::uint64_t seq;  // scheduling order; breaks same-instant ties
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;  // earlier-scheduled first on ties
+  struct EarlierEntry {
+    [[nodiscard]] bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when < b.when;
+      return a.seq < b.seq;
     }
   };
 
   // Drops cancelled entries sitting at the top of the heap.
   void purge() {
-    while (!heap_.empty()) {
-      auto it = cancelled_.find(heap_.top().id);
-      if (it == cancelled_.end()) break;
-      cancelled_.erase(it);
-      heap_.pop();
+    while (!heap_.empty() &&
+           !slab_.live(heap_.top().slot, heap_.top().gen)) {
+      heap_.pop_top();
+      --stale_;
     }
   }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;  // cancelled but still in the heap
-  std::unordered_set<EventId> live_ids_;   // scheduled, not fired, not cancelled
-  EventId next_id_ = 1;  // 0 is kInvalidEventId
+  void compact() {
+    heap_.remove_if(
+        [this](const Entry& e) { return !slab_.live(e.slot, e.gen); });
+    stale_ = 0;
+  }
+
+  detail::EventSlab slab_;
+  detail::QuadHeap<Entry, EarlierEntry> heap_;
+  std::uint64_t seq_ = 0;
+  std::size_t live_ = 0;
+  std::size_t stale_ = 0;  // cancelled but still in the heap
 };
 
 }  // namespace dca::sim

@@ -16,13 +16,40 @@ thread_local int tls_current_shard = -1;
 
 }  // namespace
 
+namespace {
+
+// The legacy striped map, kept as the default for callers that do not
+// supply a geometry-aware partition (see cell/partition.hpp).
+std::vector<int> striped_map(int n_cells, int n_shards) {
+  std::vector<int> map(static_cast<std::size_t>(n_cells > 0 ? n_cells : 0));
+  for (int c = 0; c < n_cells; ++c) {
+    map[static_cast<std::size_t>(c)] = n_shards > 0 ? c % n_shards : 0;
+  }
+  return map;
+}
+
+}  // namespace
+
 ShardedKernel::ShardedKernel(int n_cells, int n_shards, Duration lookahead,
                              int n_threads)
-    : n_shards_(n_shards), lookahead_(lookahead) {
+    : ShardedKernel(striped_map(n_cells, n_shards), n_shards, lookahead,
+                    n_threads) {}
+
+ShardedKernel::ShardedKernel(std::vector<int> partition, int n_shards,
+                             Duration lookahead, int n_threads)
+    : n_shards_(n_shards), lookahead_(lookahead), partition_(std::move(partition)) {
+  const int n_cells = static_cast<int>(partition_.size());
   if (n_shards_ < 1 || n_cells < n_shards_) {
     std::fprintf(stderr, "ShardedKernel: invalid shard count %d for %d cells\n",
                  n_shards, n_cells);
     std::abort();
+  }
+  for (int v : partition_) {
+    if (v < 0 || v >= n_shards_) {
+      std::fprintf(stderr, "ShardedKernel: partition entry %d outside [0, %d)\n",
+                   v, n_shards_);
+      std::abort();
+    }
   }
   if (lookahead_ <= 0) {
     std::fprintf(stderr, "ShardedKernel: lookahead must be positive\n");

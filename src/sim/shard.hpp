@@ -33,12 +33,10 @@
 #include <cassert>
 #include <compare>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
-#include "sim/event_queue.hpp"
+#include "sim/event_store.hpp"
+#include "sim/small_fn.hpp"
 #include "sim/types.hpp"
 
 namespace dca::sim {
@@ -74,26 +72,33 @@ struct EventKey {
   friend constexpr auto operator<=>(const EventKey&, const EventKey&) = default;
 };
 
-/// One shard's pending-event set, ordered by canonical key with the same
-/// lazy-cancellation scheme as sim::EventQueue.
+/// One shard's pending-event set, ordered by canonical key. Same
+/// slab/generation storage as sim::EventQueue (see event_store.hpp): POD
+/// heap entries, pooled callbacks, O(1) generation-bump cancellation.
 class ShardQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = EventFn;
 
   EventId schedule(const EventKey& key, Action action) {
-    const EventId id = next_id_++;
-    heap_.push(Entry{key, id, std::move(action)});
-    live_.insert(id);
-    return id;
+    const std::uint32_t slot = slab_.acquire(std::move(action));
+    const std::uint32_t gen = slab_.gen(slot);
+    heap_.push(Entry{key, slot, gen});
+    ++live_;
+    return detail::make_event_id(slot, gen);
   }
 
   void cancel(EventId id) {
     if (id == kInvalidEventId) return;
-    if (live_.erase(id) != 0) cancelled_.insert(id);
+    const std::uint32_t slot = detail::event_slot(id);
+    if (!slab_.live(slot, detail::event_gen(id))) return;
+    slab_.discard(slot);
+    --live_;
+    ++stale_;
+    if (stale_ > live_ + detail::kHeapCompactSlack) compact();
   }
 
-  [[nodiscard]] bool empty() const noexcept { return live_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return live_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
 
   /// Key of the earliest live event. Precondition: !empty().
   [[nodiscard]] const EventKey& next_key() {
@@ -107,47 +112,69 @@ class ShardQueue {
   };
   Fired pop() {
     purge();
-    Entry top = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    live_.erase(top.id);
-    return Fired{top.key, std::move(top.action)};
+    const Entry top = heap_.top();
+    heap_.pop_top();
+    --live_;
+    return Fired{top.key, slab_.release(top.slot)};
+  }
+
+  // Introspection for tests: pooled slots and heap entries (live + stale).
+  [[nodiscard]] std::size_t pool_capacity() const noexcept {
+    return slab_.capacity();
+  }
+  [[nodiscard]] std::size_t heap_entries() const noexcept {
+    return heap_.size();
   }
 
  private:
   struct Entry {
     EventKey key;
-    EventId id;
-    Action action;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      return b.key < a.key;
+  struct EarlierEntry {
+    [[nodiscard]] bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.key < b.key;
     }
   };
 
   void purge() {
-    while (!heap_.empty()) {
-      auto it = cancelled_.find(heap_.top().id);
-      if (it == cancelled_.end()) break;
-      cancelled_.erase(it);
-      heap_.pop();
+    while (!heap_.empty() &&
+           !slab_.live(heap_.top().slot, heap_.top().gen)) {
+      heap_.pop_top();
+      --stale_;
     }
   }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
-  std::unordered_set<EventId> live_;
-  EventId next_id_ = 1;
+  void compact() {
+    heap_.remove_if(
+        [this](const Entry& e) { return !slab_.live(e.slot, e.gen); });
+    stale_ = 0;
+  }
+
+  detail::EventSlab slab_;
+  detail::QuadHeap<Entry, EarlierEntry> heap_;
+  std::size_t live_ = 0;
+  std::size_t stale_ = 0;
 };
 
 class ShardedKernel {
  public:
-  using Action = std::function<void()>;
+  using Action = EventFn;
 
   /// `lookahead` must be a lower bound on the delay of every cross-shard
   /// event (the network's minimum one-way latency); it must be positive.
   /// `n_threads` <= 0 selects one thread per shard.
+  /// This constructor uses the striped `cell % n_shards` partition.
   ShardedKernel(int n_cells, int n_shards, Duration lookahead, int n_threads);
+
+  /// Same, with an explicit cell -> shard map. `partition` must have one
+  /// entry per cell, every value in [0, n_shards). Determinism does not
+  /// depend on the partition (the canonical EventKey order does not mention
+  /// shards), so any map yields bit-identical results; the map only
+  /// changes which events cross shard boundaries.
+  ShardedKernel(std::vector<int> partition, int n_shards, Duration lookahead,
+                int n_threads);
 
   ShardedKernel(const ShardedKernel&) = delete;
   ShardedKernel& operator=(const ShardedKernel&) = delete;
@@ -155,7 +182,7 @@ class ShardedKernel {
   [[nodiscard]] int n_shards() const noexcept { return n_shards_; }
   [[nodiscard]] int n_threads() const noexcept { return n_threads_; }
   [[nodiscard]] int shard_of(std::int32_t cellId) const noexcept {
-    return static_cast<int>(cellId % n_shards_);
+    return partition_[static_cast<std::size_t>(cellId)];
   }
 
   /// Virtual time of one shard (the `when` of its last executed event,
@@ -211,6 +238,7 @@ class ShardedKernel {
   int n_shards_;
   int n_threads_;
   Duration lookahead_;
+  std::vector<int> partition_;  // cell -> shard
   std::vector<Shard> shards_;
   // outbox_[parity][src * n_shards + dst]; writers fill parity_, readers
   // drain 1 - parity_. The barrier completion flips parity.

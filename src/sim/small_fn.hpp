@@ -1,0 +1,129 @@
+// A move-only `void()` callable with a large small-buffer optimization,
+// built for the event hot path.
+//
+// std::function heap-allocates any capture larger than ~2 pointers, which
+// on the simulation hot path means one malloc/free per scheduled message
+// delivery (a delivery closure carries a ~200-byte net::Message by value).
+// SmallFn reserves enough inline storage for every closure the engines
+// schedule, so the schedule/fire path performs no heap allocation at all;
+// callables that genuinely exceed the buffer (none in-tree — the network
+// layer static_asserts its delivery closures fit) fall back to the heap
+// rather than failing to compile.
+//
+// Dispatch is a single pointer to a per-type operations table (invoke /
+// relocate / destroy), so an engaged SmallFn costs one indirect call to
+// fire — same as std::function — without the allocation.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dca::sim {
+
+/// Inline capture capacity of the event callback. Sized so a message
+/// delivery closure (network pointer + a full net::Message by value) stays
+/// inline; net/network.cpp and runner/shard_world.cpp static_assert this.
+inline constexpr std::size_t kEventFnCapacity = 256;
+
+template <std::size_t Capacity = kEventFnCapacity>
+class SmallFn {
+ public:
+  SmallFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    emplace(std::forward<F>(f));
+  }
+
+  SmallFn(SmallFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when callables of type F are stored inline (no heap fallback).
+  template <typename F>
+  static constexpr bool fits_inline() noexcept {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct + destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      static constexpr Ops ops{
+          [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+          [](void* dst, void* src) noexcept {
+            D* s = std::launder(reinterpret_cast<D*>(src));
+            ::new (dst) D(std::move(*s));
+            s->~D();
+          },
+          [](void* p) noexcept { std::launder(reinterpret_cast<D*>(p))->~D(); }};
+      ops_ = &ops;
+    } else {
+      // Oversized callable: one owning pointer lives in the buffer.
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      static constexpr Ops ops{
+          [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); },
+          [](void* dst, void* src) noexcept {
+            ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+          },
+          [](void* p) noexcept {
+            delete *std::launder(reinterpret_cast<D**>(p));
+          }};
+      ops_ = &ops;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+};
+
+/// The event-callback type both engines store per scheduled event.
+using EventFn = SmallFn<kEventFnCapacity>;
+
+}  // namespace dca::sim

@@ -13,7 +13,7 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <memory>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -71,15 +71,60 @@ struct TraceEvent {
 /// In-memory event sink. Attach one to a World (and through it to the
 /// Network) to capture a run; absent a recorder every emit site is a
 /// no-op, so tracing costs nothing when off.
+///
+/// Storage is a chunked binary append buffer: emit() writes the POD event
+/// into the tail chunk (fixed 4096-event blocks that never move), so the
+/// record path is a bounds check and a 48-byte store — no reallocation
+/// copies of the whole history, no 2x peak memory, and no string work;
+/// serialization to JSONL happens only when the runner flushes the trace.
+/// events() materializes a contiguous snapshot lazily (cached until the
+/// next emit), keeping the flush/compare API a plain vector.
 class TraceRecorder {
  public:
-  void emit(const TraceEvent& e) { events_.push_back(e); }
-  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
-  [[nodiscard]] std::size_t size() const { return events_.size(); }
-  void clear() { events_.clear(); }
+  static constexpr std::size_t kChunkEvents = 4096;
+
+  void emit(const TraceEvent& e) {
+    if (fill_ == kChunkEvents) grow();
+    chunks_.back()[fill_++] = e;
+    ++count_;
+    dirty_ = true;
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    if (dirty_) {
+      flat_.clear();
+      flat_.reserve(count_);
+      for (std::size_t i = 0; i < chunks_.size(); ++i) {
+        const TraceEvent* chunk = chunks_[i].get();
+        const std::size_t n = i + 1 == chunks_.size() ? fill_ : kChunkEvents;
+        flat_.insert(flat_.end(), chunk, chunk + n);
+      }
+      dirty_ = false;
+    }
+    return flat_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  void clear() {
+    chunks_.clear();
+    fill_ = kChunkEvents;
+    count_ = 0;
+    flat_.clear();
+    dirty_ = false;
+  }
 
  private:
-  std::vector<TraceEvent> events_;
+  void grow() {
+    chunks_.push_back(std::make_unique<TraceEvent[]>(kChunkEvents));
+    fill_ = 0;
+  }
+
+  std::vector<std::unique_ptr<TraceEvent[]>> chunks_;
+  std::size_t fill_ = kChunkEvents;  // slots used in the tail chunk
+  std::size_t count_ = 0;
+  mutable std::vector<TraceEvent> flat_;  // lazy contiguous snapshot
+  mutable bool dirty_ = false;
 };
 
 }  // namespace dca::sim

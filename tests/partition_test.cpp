@@ -1,0 +1,123 @@
+// Unit tests for cell -> shard partitions: every map is an exact cover of
+// the grid, deterministic in (grid, n_shards), the block partition beats
+// striping on cross-shard interference pairs, and — the property the
+// engine's correctness rests on — simulation results are bit-identical
+// whichever partition routes the cells.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cell/grid.hpp"
+#include "cell/partition.hpp"
+#include "runner/experiment.hpp"
+
+namespace dca {
+namespace {
+
+using cell::HexGrid;
+using cell::Partition;
+
+void expect_exact_cover(const std::vector<int>& part, int n_cells,
+                        int n_shards) {
+  ASSERT_EQ(part.size(), static_cast<std::size_t>(n_cells));
+  std::vector<int> count(static_cast<std::size_t>(n_shards), 0);
+  for (const int s : part) {
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, n_shards);
+    ++count[static_cast<std::size_t>(s)];
+  }
+  // Exact cover: every cell in exactly one shard, no shard empty.
+  for (int s = 0; s < n_shards; ++s) {
+    EXPECT_GT(count[static_cast<std::size_t>(s)], 0) << "empty shard " << s;
+  }
+}
+
+TEST(Partition, BothKindsAreExactCovers) {
+  const HexGrid grid(12, 12, 2);
+  for (const int n_shards : {1, 2, 3, 4, 5, 7, 8, 16}) {
+    SCOPED_TRACE(n_shards);
+    expect_exact_cover(cell::striped_partition(grid.n_cells(), n_shards),
+                       grid.n_cells(), n_shards);
+    expect_exact_cover(cell::block_partition(grid, n_shards), grid.n_cells(),
+                       n_shards);
+  }
+}
+
+TEST(Partition, DeterministicForSameInputs) {
+  const HexGrid a(12, 12, 2);
+  const HexGrid b(12, 12, 2);
+  for (const int n_shards : {2, 4, 8}) {
+    SCOPED_TRACE(n_shards);
+    EXPECT_EQ(cell::block_partition(a, n_shards),
+              cell::block_partition(b, n_shards));
+    EXPECT_EQ(cell::make_partition(a, n_shards, Partition::kStriped),
+              cell::striped_partition(a.n_cells(), n_shards));
+    EXPECT_EQ(cell::make_partition(a, n_shards, Partition::kBlocks),
+              cell::block_partition(a, n_shards));
+  }
+}
+
+TEST(Partition, BlocksBeatStripingOnCrossShardPairs) {
+  const HexGrid grid(12, 12, 2);
+  for (const int n_shards : {2, 4, 8}) {
+    SCOPED_TRACE(n_shards);
+    const auto striped = cell::striped_partition(grid.n_cells(), n_shards);
+    const auto blocks = cell::block_partition(grid, n_shards);
+    const std::size_t xs_striped =
+        cell::cross_shard_interference_pairs(grid, striped);
+    const std::size_t xs_blocks =
+        cell::cross_shard_interference_pairs(grid, blocks);
+    EXPECT_LT(xs_blocks, xs_striped)
+        << "blocks=" << xs_blocks << " striped=" << xs_striped;
+  }
+}
+
+TEST(Partition, SingleShardHasNoCrossShardPairs) {
+  const HexGrid grid(6, 6, 2);
+  const auto one = cell::block_partition(grid, 1);
+  EXPECT_EQ(cell::cross_shard_interference_pairs(grid, one), 0u);
+}
+
+// The sharded kernel orders events by the canonical EventKey, which never
+// mentions shards — so the cell -> shard map can only change engine cost
+// (cross_shard_messages), never results. This is the load-bearing
+// invariant that let kBlocks become the default without touching goldens.
+TEST(Partition, StripedAndBlocksProduceBitIdenticalResults) {
+  runner::ScenarioConfig cfg;
+  cfg.rows = 6;
+  cfg.cols = 6;
+  cfg.n_channels = 35;
+  cfg.duration = sim::minutes(1);
+  cfg.warmup = sim::seconds(10);
+  cfg.seed = 23;
+  cfg.shards = 4;
+
+  for (const auto scheme : {runner::Scheme::kAdaptive,
+                            runner::Scheme::kBasicSearch}) {
+    SCOPED_TRACE(runner::scheme_name(scheme));
+    runner::ScenarioConfig striped = cfg;
+    striped.partition = Partition::kStriped;
+    runner::ScenarioConfig blocks = cfg;
+    blocks.partition = Partition::kBlocks;
+
+    const auto rs = runner::run_uniform(striped, scheme, 0.8);
+    const auto rb = runner::run_uniform(blocks, scheme, 0.8);
+
+    EXPECT_EQ(rs.agg.offered, rb.agg.offered);
+    EXPECT_EQ(rs.agg.acquired, rb.agg.acquired);
+    EXPECT_EQ(rs.agg.blocked, rb.agg.blocked);
+    EXPECT_EQ(rs.total_messages, rb.total_messages);
+    EXPECT_EQ(rs.executed_events, rb.executed_events);
+    EXPECT_EQ(rs.carried_erlangs, rb.carried_erlangs);  // bit-exact
+    EXPECT_EQ(rs.agg.delay_in_T.mean(), rb.agg.delay_in_T.mean());
+    EXPECT_EQ(rs.messages_by_kind, rb.messages_by_kind);
+    EXPECT_EQ(rs.violations, rb.violations);
+    EXPECT_EQ(rs.quiescent, rb.quiescent);
+    // What DOES change is the engine-cost metric.
+    EXPECT_LT(rb.cross_shard_messages, rs.cross_shard_messages);
+  }
+}
+
+}  // namespace
+}  // namespace dca

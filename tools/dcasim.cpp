@@ -78,6 +78,8 @@ int main(int argc, char** argv) {
       .add_double("timeout-ms", 0.0, "protocol request timeout (0 = no timers)")
       .add_int("shards", 1, "event-engine shards (1 = classic engine)")
       .add_int("threads", 0, "sharded-engine workers (0 = one per shard)")
+      .add_string("partition", "blocks",
+                  "cell->shard map: blocks (hex blocks) | striped (cell % shards)")
       .add_double("fade-prob", 0.0, "radio: per-(cell,channel) fade probability")
       .add_double("fade-bucket-ms", 1000.0, "radio: fade coherence time [ms]")
       .add_string("config", "", "scenario file applied before other options")
@@ -155,6 +157,18 @@ int main(int argc, char** argv) {
     cfg.request_timeout = sim::from_seconds(args.get_double("timeout-ms") / 1000.0);
   if (use("shards")) cfg.shards = static_cast<int>(args.get_int("shards"));
   if (use("threads")) cfg.threads = static_cast<int>(args.get_int("threads"));
+  if (use("partition")) {
+    const std::string p = args.get_string("partition");
+    if (p == "striped") {
+      cfg.partition = cell::Partition::kStriped;
+    } else if (p == "blocks") {
+      cfg.partition = cell::Partition::kBlocks;
+    } else {
+      std::fprintf(stderr, "dcasim: bad --partition '%s' (striped|blocks)\n",
+                   p.c_str());
+      return 2;
+    }
+  }
   if (use("fade-prob")) cfg.radio_fade_prob = args.get_double("fade-prob");
   if (use("fade-bucket-ms"))
     cfg.radio_fade_bucket =
