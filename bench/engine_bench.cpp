@@ -21,15 +21,21 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "cell/partition.hpp"
 #include "metrics/json.hpp"
+#include "net/latency.hpp"
+#include "net/link_table.hpp"
+#include "net/network.hpp"
 #include "runner/conformance.hpp"
 #include "runner/experiment.hpp"
+#include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
 namespace {
@@ -63,6 +69,7 @@ struct Measurement {
   std::string partition;
   double wall_s = 0.0;
   std::uint64_t events = 0;
+  std::uint64_t messages = 0;
   double events_per_sec = 0.0;
 };
 
@@ -78,11 +85,105 @@ Measurement measure(const dca::runner::ScenarioConfig& cfg, Scheme scheme,
   m.partition = partition_name(cfg.partition);
   m.wall_s = std::chrono::duration<double>(t1 - t0).count();
   m.events = r.executed_events;
+  m.messages = r.total_messages;
   m.events_per_sec = m.wall_s > 0 ? static_cast<double>(m.events) / m.wall_s : 0;
   std::printf("  %-14s shards=%d threads=%d partition=%-7s  %9.3f s  %12llu events  %12.0f ev/s\n",
               name.c_str(), m.shards, m.threads, m.partition.c_str(), m.wall_s,
               static_cast<unsigned long long>(m.events), m.events_per_sec);
   return m;
+}
+
+// -- transport-layer breakdown ----------------------------------------------
+//
+// Two micro-timings isolate what one engine event and one network message
+// cost on the flattened hot path, then the classic run's (events, messages,
+// wall) decomposes into estimated shares of wall time: transport
+// (send+deliver, including the delivery event), queue (the remaining
+// non-delivery events' schedule+dispatch overhead), and protocol logic (the
+// residual — the allocator state machines themselves).
+
+/// Self-scheduling chain functor: stays inside EventFn's inline buffer, so
+/// this times the flattened schedule -> heap -> dispatch path alone.
+struct ChainTick {
+  dca::sim::Simulator* sim;
+  int* remaining;
+  void operator()() const {
+    if (--*remaining > 0) sim->schedule_in(1, ChainTick{sim, remaining});
+  }
+};
+
+double measure_queue_ns_per_event() {
+  dca::sim::Simulator sim;
+  int remaining = 2'000'000;
+  const int total = remaining;
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.schedule_in(1, ChainTick{&sim, &remaining});
+  sim.run_to_quiescence();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / total;
+}
+
+double measure_transport_ns_per_message(const dca::runner::ScenarioConfig& cfg) {
+  // Drives Network::send over the real link table of the bench grid,
+  // round-robin across one cell's interference neighbourhood, with
+  // deliveries drained in batches (mirrors the running engine: sends and
+  // deliveries interleave).
+  dca::sim::Simulator sim;
+  const dca::cell::HexGrid grid(cfg.rows, cfg.cols, cfg.interference_radius,
+                                cfg.wrap);
+  dca::net::Network net(
+      sim, std::make_unique<dca::net::FixedLatency>(cfg.latency), &grid);
+  std::uint64_t delivered = 0;
+  net.set_receiver([&delivered](const dca::net::Message&) { ++delivered; });
+
+  const dca::cell::CellId center =
+      static_cast<dca::cell::CellId>(grid.n_cells() / 2 + cfg.cols / 2);
+  const auto neighbours = grid.interference(center);
+  constexpr std::uint64_t kMessages = 1'000'000;
+  constexpr std::uint64_t kBatch = 64;
+  dca::net::Message msg;
+  msg.kind = dca::net::MsgKind::kRequest;
+  msg.from = center;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t sent = 0;
+  while (sent < kMessages) {
+    for (std::uint64_t b = 0; b < kBatch && sent < kMessages; ++b, ++sent) {
+      msg.to = neighbours[sent % neighbours.size()];
+      net.send(msg);
+    }
+    sim.run_to_quiescence();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (delivered != kMessages) std::abort();  // FIFO floor must not drop any
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(kMessages);
+}
+
+struct Breakdown {
+  double queue_ns_per_event = 0.0;
+  double transport_ns_per_message = 0.0;
+  double messages_per_sec = 0.0;
+  double transport_share = 0.0;
+  double queue_share = 0.0;
+  double protocol_share = 0.0;
+};
+
+Breakdown transport_breakdown(const dca::runner::ScenarioConfig& cfg,
+                              const Measurement& classic) {
+  Breakdown b;
+  b.queue_ns_per_event = measure_queue_ns_per_event();
+  b.transport_ns_per_message = measure_transport_ns_per_message(cfg);
+  const double wall_ns = classic.wall_s * 1e9;
+  if (wall_ns <= 0) return b;
+  const double msgs = static_cast<double>(classic.messages);
+  const double other_events =
+      static_cast<double>(classic.events) - msgs;  // non-delivery events
+  b.messages_per_sec = msgs / classic.wall_s;
+  b.transport_share = msgs * b.transport_ns_per_message / wall_ns;
+  b.queue_share = other_events * b.queue_ns_per_event / wall_ns;
+  b.protocol_share = 1.0 - b.transport_share - b.queue_share;
+  if (b.protocol_share < 0) b.protocol_share = 0;
+  return b;
 }
 
 /// Cross-shard protocol messages under a given partition on the 12x12
@@ -169,13 +270,42 @@ bool append_trajectory(const char* path, const std::string& entry) {
 
 int main(int argc, char** argv) {
   int shards_n = 4;
-  if (argc > 1) shards_n = std::atoi(argv[1]);
+  double rho = 0.9;
+  std::vector<std::string> scheme_filter;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--rho=", 6) == 0) {
+      rho = std::atof(arg + 6);
+      if (rho <= 0) {
+        std::fprintf(stderr, "engine_bench: bad --rho value '%s'\n", arg + 6);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--schemes=", 10) == 0) {
+      std::string list(arg + 10);
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string name =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (!name.empty()) scheme_filter.push_back(name);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(arg[0]))) {
+      shards_n = std::atoi(arg);  // legacy positional shard count
+    } else {
+      std::fprintf(stderr,
+                   "usage: engine_bench [shards] [--schemes=a,b] [--rho=X]\n"
+                   "  schemes: adaptive basic_search (default: both)\n");
+      return 2;
+    }
+  }
   if (shards_n < 2) shards_n = 2;
-  const double rho = 0.9;
 
   dca::benchutil::heading("engine throughput: classic vs sharded");
   const unsigned hw = std::thread::hardware_concurrency();
-  std::printf("hardware threads: %u, sharded run uses shards=%d\n\n", hw, shards_n);
+  std::printf("hardware threads: %u, sharded run uses shards=%d, rho=%.2f\n\n",
+              hw, shards_n, rho);
 
   const struct {
     Scheme scheme;
@@ -184,9 +314,17 @@ int main(int argc, char** argv) {
       {Scheme::kAdaptive, "adaptive"},
       {Scheme::kBasicSearch, "basic_search"},
   };
+  const auto scheme_selected = [&scheme_filter](const char* name) {
+    if (scheme_filter.empty()) return true;
+    for (const std::string& s : scheme_filter) {
+      if (s == name) return true;
+    }
+    return false;
+  };
 
   std::vector<Measurement> results;
   for (const auto& s : kSchemes) {
+    if (!scheme_selected(s.name)) continue;
     dca::runner::ScenarioConfig c1 = bench_config();
     c1.shards = 1;
     results.push_back(measure(c1, s.scheme, s.name, rho));
@@ -201,6 +339,30 @@ int main(int argc, char** argv) {
     std::printf("  %-14s speedup: %.2fx\n\n", s.name,
                 base > 0 ? par / base : 0.0);
   }
+  if (results.empty()) {
+    std::fprintf(stderr, "engine_bench: --schemes matched nothing\n");
+    return 2;
+  }
+
+  // Where the wall time goes on the classic (shards=1) engine: micro-timed
+  // per-event queue cost and per-message transport cost, scaled by the
+  // first scheme's classic run.
+  dca::benchutil::heading("transport-layer breakdown (classic engine)");
+  const Measurement& classic = results.front();
+  const Breakdown bd = transport_breakdown(bench_config(), classic);
+  std::printf("queue dispatch: %6.1f ns/event   transport send+deliver: %6.1f ns/message\n",
+              bd.queue_ns_per_event, bd.transport_ns_per_message);
+  std::printf("%s classic run: %.0f messages/s  ->  est. shares: transport %.1f%%  queue %.1f%%  protocol %.1f%%\n",
+              classic.scheme.c_str(), bd.messages_per_sec,
+              100.0 * bd.transport_share, 100.0 * bd.queue_share,
+              100.0 * bd.protocol_share);
+
+  // Link-table shape of the bench grid (recorded with the trajectory so
+  // regressions can be traced to topology changes).
+  const dca::runner::ScenarioConfig shape = bench_config();
+  const dca::cell::HexGrid bench_grid(shape.rows, shape.cols,
+                                      shape.interference_radius, shape.wrap);
+  const dca::net::LinkTable bench_links(bench_grid);
 
   // Partition engine-cost comparison: same simulation, different cell->
   // shard maps. Blocks should need far fewer cross-shard messages than
@@ -248,6 +410,30 @@ int main(int argc, char** argv) {
   w.value(rho);
   w.key("conformance_ok");
   w.value(report.ok());
+  w.key("link_table");
+  w.begin_object();
+  w.key("links");
+  w.value(static_cast<std::int64_t>(bench_links.n_links()));
+  w.key("max_degree");
+  w.value(static_cast<std::int64_t>(bench_grid.max_interference_degree()));
+  w.end_object();
+  w.key("transport_breakdown");
+  w.begin_object();
+  w.key("queue_ns_per_event");
+  w.value(bd.queue_ns_per_event);
+  w.key("transport_ns_per_message");
+  w.value(bd.transport_ns_per_message);
+  w.key("classic_scheme");
+  w.value(classic.scheme);
+  w.key("messages_per_sec");
+  w.value(bd.messages_per_sec);
+  w.key("transport_share");
+  w.value(bd.transport_share);
+  w.key("queue_share");
+  w.value(bd.queue_share);
+  w.key("protocol_share");
+  w.value(bd.protocol_share);
+  w.end_object();
   w.key("results");
   w.begin_array();
   for (const auto& m : results) {
@@ -264,6 +450,8 @@ int main(int argc, char** argv) {
     w.value(m.wall_s);
     w.key("events");
     w.value(m.events);
+    w.key("messages");
+    w.value(m.messages);
     w.key("events_per_sec");
     w.value(m.events_per_sec);
     w.end_object();

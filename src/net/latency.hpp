@@ -24,6 +24,7 @@
 #include <utility>
 
 #include "cell/grid.hpp"
+#include "net/link_table.hpp"
 #include "sim/random.hpp"
 #include "sim/types.hpp"
 
@@ -35,6 +36,21 @@ class LatencyModel {
 
   /// Delay for one message from `from` to `to`.
   virtual sim::Duration delay(cell::CellId from, cell::CellId to) = 0;
+
+  /// Invoked once by the network when a LinkTable exists, letting a model
+  /// flatten per-pair state onto LinkIds (MatrixLatency does). Default:
+  /// nothing to flatten.
+  virtual void bind_links(const LinkTable& links) { (void)links; }
+
+  /// Delay for one message on a known link. `lid` may be kNoLink (no grid)
+  /// or beyond the bound table (dynamically registered pair); models that
+  /// flatten must fall back to delay(from, to) there. Default forwards to
+  /// delay() so existing models keep exact draw-for-draw behavior.
+  virtual sim::Duration link_delay(LinkId lid, cell::CellId from,
+                                   cell::CellId to) {
+    (void)lid;
+    return delay(from, to);
+  }
 
   /// Upper bound T on one-way latency (the paper's T).
   [[nodiscard]] virtual sim::Duration max_one_way() const = 0;
@@ -52,6 +68,9 @@ class FixedLatency final : public LatencyModel {
  public:
   explicit FixedLatency(sim::Duration t) : t_(t) {}
   sim::Duration delay(cell::CellId, cell::CellId) override { return t_; }
+  sim::Duration link_delay(LinkId, cell::CellId, cell::CellId) override {
+    return t_;  // skip the second virtual hop on the hot path
+  }
   [[nodiscard]] sim::Duration max_one_way() const override { return t_; }
   [[nodiscard]] sim::Duration min_one_way() const override { return t_; }
 
@@ -66,6 +85,9 @@ class JitterLatency final : public LatencyModel {
 
   sim::Duration delay(cell::CellId, cell::CellId) override {
     return rng_.uniform_int(lo_, hi_);
+  }
+  sim::Duration link_delay(LinkId, cell::CellId, cell::CellId) override {
+    return rng_.uniform_int(lo_, hi_);  // same draw sequence as delay()
   }
   [[nodiscard]] sim::Duration max_one_way() const override { return hi_; }
   [[nodiscard]] sim::Duration min_one_way() const override { return lo_; }
@@ -85,12 +107,36 @@ class MatrixLatency final : public LatencyModel {
     overrides_[{from, to}] = d;
     max_ = std::max(max_, d);
     min_ = std::min(min_, d);
+    if (bound_ != nullptr) {
+      const LinkId lid = bound_->id(from, to);
+      if (lid != kNoLink) flat_[static_cast<std::size_t>(lid)] = d;
+    }
   }
 
   sim::Duration delay(cell::CellId from, cell::CellId to) override {
     const auto it = overrides_.find({from, to});
     return it == overrides_.end() ? default_ : it->second;
   }
+
+  /// Flattens the override map onto LinkIds so the per-message lookup is
+  /// one array load instead of a tree walk.
+  void bind_links(const LinkTable& links) override {
+    bound_ = &links;
+    flat_.assign(static_cast<std::size_t>(links.n_links()), default_);
+    for (const auto& [key, d] : overrides_) {
+      const LinkId lid = links.id(key.first, key.second);
+      if (lid != kNoLink) flat_[static_cast<std::size_t>(lid)] = d;
+    }
+  }
+
+  sim::Duration link_delay(LinkId lid, cell::CellId from,
+                           cell::CellId to) override {
+    if (lid >= 0 && static_cast<std::size_t>(lid) < flat_.size()) {
+      return flat_[static_cast<std::size_t>(lid)];
+    }
+    return delay(from, to);  // unbound / dynamically registered pair
+  }
+
   [[nodiscard]] sim::Duration max_one_way() const override {
     return std::max(default_, max_);
   }
@@ -103,6 +149,8 @@ class MatrixLatency final : public LatencyModel {
   sim::Duration max_ = 0;
   sim::Duration min_ = std::numeric_limits<sim::Duration>::max();
   std::map<std::pair<cell::CellId, cell::CellId>, sim::Duration> overrides_;
+  const LinkTable* bound_ = nullptr;
+  std::vector<sim::Duration> flat_;  // by LinkId once bound
 };
 
 }  // namespace dca::net

@@ -5,11 +5,44 @@
 
 namespace dca::net {
 
+Network::Network(sim::Simulator& simulator,
+                 std::unique_ptr<LatencyModel> latency,
+                 const cell::HexGrid* grid)
+    : sim_(simulator), latency_(std::move(latency)) {
+  if (grid != nullptr) {
+    links_ = LinkTable(*grid);
+    latency_->bind_links(links_);
+    held_.resize(static_cast<std::size_t>(grid->n_cells()));
+    paused_.assign(static_cast<std::size_t>(grid->n_cells()), 0);
+  }
+  n_links_total_ = links_.n_links();
+  link_clock_.assign(static_cast<std::size_t>(n_links_total_), 0);
+}
+
+LinkId Network::dynamic_link_id(cell::CellId from, cell::CellId to) {
+  const auto [it, inserted] = extra_.try_emplace({from, to}, n_links_total_);
+  if (inserted) {
+    ++n_links_total_;
+    link_clock_.push_back(0);
+    if (transport_) {
+      tx_.emplace_back();
+      rx_.emplace_back();
+      fault_rng_.emplace_back();
+    }
+  }
+  return it->second;
+}
+
 void Network::enable_faults(const FaultConfig& cfg, std::uint64_t seed) {
   assert(total_ == 0 && "enable_faults must precede the first send");
   fault_ = cfg;
   fault_seed_ = seed;
   transport_ = cfg.link_faults();
+  if (transport_) {
+    tx_.resize(static_cast<std::size_t>(n_links_total_));
+    rx_.resize(static_cast<std::size_t>(n_links_total_));
+    fault_rng_.resize(static_cast<std::size_t>(n_links_total_));
+  }
   // Retransmission timeout: a frame plus its ack each take at most one
   // latency bound plus the injected jitter; the extra millisecond absorbs
   // the FIFO floor. Deliberately generous — a premature retransmission is
@@ -33,11 +66,12 @@ void Network::send(Message msg) {
     transport_send(std::move(msg));
     return;
   }
-  const sim::Duration d = latency_->delay(msg.from, msg.to);
+  const LinkId lid = link_id(msg.from, msg.to);
+  const sim::Duration d = latency_->link_delay(lid, msg.from, msg.to);
   // FIFO per directed link: never deliver before an earlier send on the
   // same link (ties break by scheduling order, which is send order).
   sim::SimTime when = sim_.now() + (d > 0 ? d : 0);
-  auto& floor_time = link_clock_[{msg.from, msg.to}];
+  sim::SimTime& floor_time = link_clock_[static_cast<std::size_t>(lid)];
   if (when < floor_time) when = floor_time;
   floor_time = when;
   auto deliver = [this, m = std::move(msg)]() { deliver_to_node(m); };
@@ -53,26 +87,26 @@ void Network::send(Message msg) {
 
 void Network::transport_send(Message msg) {
   const LinkKey link{msg.from, msg.to};
-  LinkTx& tx = tx_[link];
+  const LinkId lid = link_id(msg.from, msg.to);
+  LinkTx& tx = tx_[static_cast<std::size_t>(lid)];
   const std::uint64_t seq = tx.next_seq++;
-  tx.pending.emplace(seq, PendingFrame{std::move(msg)});
+  tx.pending.insert(seq).msg = std::move(msg);
   transmit(link, seq);
-  arm_rto(link, seq);
+  arm_rto(link, lid, seq);
 }
 
 sim::RngStream& Network::link_rng(const LinkKey& link) {
-  auto it = fault_rng_.find(link);
-  if (it == fault_rng_.end()) {
+  const LinkId lid = link_id(link.first, link.second);
+  std::unique_ptr<sim::RngStream>& slot = fault_rng_[static_cast<std::size_t>(lid)];
+  if (!slot) {
     const std::uint64_t label =
         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(link.first))
          << 32) |
         static_cast<std::uint32_t>(link.second);
-    it = fault_rng_
-             .emplace(link, sim::RngStream::derive(fault_seed_ ^ 0xFA017ull,
-                                                   label))
-             .first;
+    slot = std::make_unique<sim::RngStream>(
+        sim::RngStream::derive(fault_seed_ ^ 0xFA017ull, label));
   }
-  return it->second;
+  return *slot;
 }
 
 void Network::record(sim::TraceKind k, const LinkKey& link, std::uint64_t seq,
@@ -95,22 +129,25 @@ sim::Duration Network::rto(int attempts) const {
   return rto_base_ << shift;
 }
 
-void Network::arm_rto(const LinkKey& link, std::uint64_t seq) {
-  PendingFrame& f = tx_[link].pending.at(seq);
-  f.timer = sim_.schedule_in(rto(f.attempts),
-                             [this, link, seq]() { on_rto(link, seq); });
+void Network::arm_rto(const LinkKey& link, LinkId lid, std::uint64_t seq) {
+  PendingFrame* f = tx_[static_cast<std::size_t>(lid)].pending.find(seq);
+  assert(f != nullptr && "arming an RTO for a frame not in the window");
+  auto timer = [this, link, seq]() { on_rto(link, seq); };
+  static_assert(sim::EventFn::fits_inline<decltype(timer)>(),
+                "RTO closure must fit EventFn's inline buffer");
+  f->timer = sim_.schedule_in(rto(f->attempts), std::move(timer));
 }
 
 void Network::on_rto(const LinkKey& link, std::uint64_t seq) {
-  LinkTx& tx = tx_[link];
-  auto it = tx.pending.find(seq);
-  if (it == tx.pending.end()) return;  // acked in the meantime
-  it->second.timer = sim::kInvalidEventId;
-  ++it->second.attempts;
+  const LinkId lid = link_id(link.first, link.second);
+  PendingFrame* f = tx_[static_cast<std::size_t>(lid)].pending.find(seq);
+  if (f == nullptr) return;  // acked in the meantime
+  f->timer = sim::kInvalidEventId;
+  ++f->attempts;
   ++tstats_.retransmissions;
-  record(sim::TraceKind::kRetransmit, link, seq, it->second.attempts);
+  record(sim::TraceKind::kRetransmit, link, seq, f->attempts);
   transmit(link, seq);
-  arm_rto(link, seq);
+  arm_rto(link, lid, seq);
 }
 
 void Network::transmit(const LinkKey& link, std::uint64_t seq) {
@@ -120,7 +157,10 @@ void Network::transmit(const LinkKey& link, std::uint64_t seq) {
     record(sim::TraceKind::kDrop, link, seq);
     return;  // lost in flight; the RTO will resend it
   }
-  const Message& msg = tx_[link].pending.at(seq).msg;
+  const LinkId lid = link_id(link.first, link.second);
+  const PendingFrame* f = tx_[static_cast<std::size_t>(lid)].pending.find(seq);
+  assert(f != nullptr && "transmitting a frame not in the window");
+  const Message& msg = f->msg;
   int copies = 1;
   if (fault_.dup_prob > 0 && rng.bernoulli(fault_.dup_prob)) {
     ++tstats_.frames_duplicated;
@@ -128,34 +168,43 @@ void Network::transmit(const LinkKey& link, std::uint64_t seq) {
     copies = 2;
   }
   for (int i = 0; i < copies; ++i) {
-    sim::Duration d = latency_->delay(link.first, link.second);
+    sim::Duration d = latency_->link_delay(lid, link.first, link.second);
     if (d < 0) d = 0;
     if (fault_.jitter > 0) d += rng.uniform_int(0, fault_.jitter);
     // No FIFO floor here: frame-level reordering is the injected fault.
     // The receive side resequences, so the protocol still sees FIFO.
-    sim_.schedule_in(d, [this, link, seq, m = msg]() {
-      on_data_frame(link, seq, m);
-    });
+    auto frame = [this, link, seq, m = msg]() { on_data_frame(link, seq, m); };
+    static_assert(sim::EventFn::fits_inline<decltype(frame)>(),
+                  "Data-frame closure must fit EventFn's inline buffer; "
+                  "grow sim::kEventFnCapacity if Message grew");
+    sim_.schedule_in(d, std::move(frame));
   }
 }
 
 void Network::on_data_frame(const LinkKey& link, std::uint64_t seq,
                             const Message& msg) {
-  LinkRx& rx = rx_[link];
-  if (seq >= rx.next_expected) {
-    rx.reorder.emplace(seq, msg);  // no-op if this seq is already buffered
+  const LinkId lid = link_id(link.first, link.second);
+  if (seq >= rx_[static_cast<std::size_t>(lid)].next_expected) {
+    {
+      LinkRx& rx = rx_[static_cast<std::size_t>(lid)];
+      if (!rx.reorder.contains(seq)) rx.reorder.insert(seq) = msg;
+    }
+    // Re-index rx_ each round: delivering can make the node send, and a
+    // send may append a dynamically registered link (gridless tests),
+    // reallocating the vector under a held reference.
     while (true) {
-      auto it = rx.reorder.find(rx.next_expected);
-      if (it == rx.reorder.end()) break;
-      const Message m = std::move(it->second);
-      rx.reorder.erase(it);
+      LinkRx& rx = rx_[static_cast<std::size_t>(lid)];
+      Message* head = rx.reorder.find(rx.next_expected);
+      if (head == nullptr) break;
+      const Message m = *head;
+      rx.reorder.erase(rx.next_expected);
       ++rx.next_expected;
       deliver_to_node(m);
     }
   }
   // Cumulative ack, also for stale duplicates (their original ack may
   // have been the casualty).
-  send_ack(link, rx.next_expected - 1);
+  send_ack(link, rx_[static_cast<std::size_t>(lid)].next_expected - 1);
 }
 
 void Network::send_ack(const LinkKey& data_link, std::uint64_t cumulative) {
@@ -168,25 +217,44 @@ void Network::send_ack(const LinkKey& data_link, std::uint64_t cumulative) {
     record(sim::TraceKind::kDrop, back, cumulative);
     return;
   }
-  sim::Duration d = latency_->delay(back.first, back.second);
+  const LinkId back_lid = link_id(back.first, back.second);
+  sim::Duration d = latency_->link_delay(back_lid, back.first, back.second);
   if (d < 0) d = 0;
   if (fault_.jitter > 0) d += rng.uniform_int(0, fault_.jitter);
-  sim_.schedule_in(d, [this, data_link, cumulative]() {
-    LinkTx& tx = tx_[data_link];
-    auto it = tx.pending.begin();
-    while (it != tx.pending.end() && it->first <= cumulative) {
-      if (it->second.timer != sim::kInvalidEventId) {
-        sim_.cancel(it->second.timer);
+  auto ack = [this, data_link, cumulative]() {
+    const LinkId lid = link_id(data_link.first, data_link.second);
+    LinkTx& tx = tx_[static_cast<std::size_t>(lid)];
+    // The window is the dense range [lowest_unacked, next_seq); acking a
+    // cumulative prefix walks it in ascending seq order, exactly like the
+    // old ordered-map prefix erase.
+    while (tx.lowest_unacked <= cumulative &&
+           tx.lowest_unacked < tx.next_seq) {
+      if (PendingFrame* f = tx.pending.find(tx.lowest_unacked)) {
+        if (f->timer != sim::kInvalidEventId) sim_.cancel(f->timer);
+        tx.pending.erase(tx.lowest_unacked);
       }
-      it = tx.pending.erase(it);
+      ++tx.lowest_unacked;
     }
-  });
+  };
+  static_assert(sim::EventFn::fits_inline<decltype(ack)>(),
+                "Ack closure must fit EventFn's inline buffer");
+  sim_.schedule_in(d, std::move(ack));
 }
 
 // -- pause / resume ------------------------------------------------------
 
+void Network::ensure_cell(cell::CellId c) {
+  const auto need = static_cast<std::size_t>(c) + 1;
+  if (paused_.size() < need) paused_.resize(need, 0);
+  if (held_.size() < need) held_.resize(need);
+}
+
 void Network::pause(cell::CellId c) {
-  if (!paused_.insert(c).second) return;
+  ensure_cell(c);
+  std::uint8_t& flag = paused_[static_cast<std::size_t>(c)];
+  if (flag != 0) return;
+  flag = 1;
+  ++paused_count_;
   if (recorder_) {
     sim::TraceEvent e;
     e.kind = sim::TraceKind::kPause;
@@ -197,7 +265,9 @@ void Network::pause(cell::CellId c) {
 }
 
 void Network::resume(cell::CellId c) {
-  if (paused_.erase(c) == 0) return;
+  if (!is_paused(c)) return;
+  paused_[static_cast<std::size_t>(c)] = 0;
+  --paused_count_;
   if (recorder_) {
     sim::TraceEvent e;
     e.kind = sim::TraceKind::kResume;
@@ -205,18 +275,16 @@ void Network::resume(cell::CellId c) {
     e.cell = static_cast<std::int32_t>(c);
     recorder_->emit(e);
   }
-  auto it = held_.find(c);
-  if (it == held_.end()) return;
-  std::vector<Message> backlog = std::move(it->second);
-  held_.erase(it);
+  std::vector<Message> backlog = std::move(held_[static_cast<std::size_t>(c)]);
+  held_[static_cast<std::size_t>(c)].clear();
   for (const Message& m : backlog) {
     if (deliver_) deliver_(m);
   }
 }
 
 void Network::deliver_to_node(const Message& msg) {
-  if (!paused_.empty() && paused_.count(msg.to) != 0) {
-    held_[msg.to].push_back(msg);
+  if (paused_count_ != 0 && is_paused(msg.to)) {
+    held_[static_cast<std::size_t>(msg.to)].push_back(msg);
     return;
   }
   if (deliver_) deliver_(msg);

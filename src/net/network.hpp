@@ -27,35 +27,52 @@
 // Transport frames (retransmissions, acks) are NOT counted in the
 // protocol message counters. With faults disabled none of this code is
 // on the send path and behavior is bit-identical to the plain network.
+//
+// Hot-path layout: when constructed with a grid, every directed
+// interference pair gets a dense LinkId up front (net/link_table.hpp) and
+// ALL per-link state — FIFO clocks, reliable-transport tx/rx windows,
+// fault RNG streams — lives in flat vectors indexed by LinkId, with
+// retransmit/reorder buffers in per-link sequence rings. No tree or hash
+// walk on send, delivery, or ack once warm. Pairs outside the table
+// (tests drive arbitrary cells without a grid) fall back to a hash-map
+// registration that appends to the same flat vectors, so behavior is
+// identical either way.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "net/fault.hpp"
 #include "net/latency.hpp"
+#include "net/link_table.hpp"
 #include "net/message.hpp"
 #include "sim/log.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "sim/small_fn.hpp"
 #include "sim/trace.hpp"
 
 namespace dca::net {
 
 class Network {
  public:
-  using DeliverFn = std::function<void(const Message&)>;
-  using ObserveFn = std::function<void(const Message&)>;
+  // Inline-only callables: a delivery/observer hook is a [this]-style
+  // capture into the runner (or a small test lambda), invoked once per
+  // message — it must never allocate or double-dispatch through
+  // std::function.
+  using DeliverFn = sim::SmallFn<void(const Message&), sim::kNetHandlerCapacity>;
+  using ObserveFn = sim::SmallFn<void(const Message&), sim::kNetHandlerCapacity>;
 
-  Network(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency)
-      : sim_(simulator), latency_(std::move(latency)) {}
+  /// With a grid, every directed interference pair is enumerated into a
+  /// dense LinkTable at construction (the fast path for all protocol
+  /// traffic). Without one, links are registered on first use.
+  explicit Network(sim::Simulator& simulator,
+                   std::unique_ptr<LatencyModel> latency,
+                   const cell::HexGrid* grid = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -94,13 +111,17 @@ class Network {
   void pause(cell::CellId c);
   void resume(cell::CellId c);
   [[nodiscard]] bool is_paused(cell::CellId c) const {
-    return paused_.count(c) != 0;
+    return static_cast<std::size_t>(c) < paused_.size() &&
+           paused_[static_cast<std::size_t>(c)] != 0;
   }
 
   /// The latency bound T the paper's formulas are expressed in.
   [[nodiscard]] sim::Duration max_one_way_latency() const {
     return latency_->max_one_way();
   }
+
+  /// The link enumeration in effect (empty without a grid).
+  [[nodiscard]] const LinkTable& links() const noexcept { return links_; }
 
   // -- global counters --------------------------------------------------
 
@@ -120,8 +141,8 @@ class Network {
  private:
   using LinkKey = std::pair<cell::CellId, cell::CellId>;
 
-  /// Mixes a directed link into a hash in a handful of cycles; the send
-  /// hot path probes link_clock_ once per message.
+  /// Mixes a directed link into a hash in a handful of cycles; only the
+  /// cold dynamic-registration map uses it (table misses).
   struct LinkHash {
     [[nodiscard]] std::size_t operator()(const LinkKey& k) const noexcept {
       std::uint64_t v =
@@ -140,12 +161,25 @@ class Network {
   };
   struct LinkTx {
     std::uint64_t next_seq = 1;
-    std::map<std::uint64_t, PendingFrame> pending;
+    // pending covers exactly [lowest_unacked, next_seq): frames are added
+    // at next_seq and only ever erased as a prefix by cumulative acks, so
+    // the window is a dense seq range in the ring.
+    std::uint64_t lowest_unacked = 1;
+    SeqRing<PendingFrame> pending;
   };
   struct LinkRx {
     std::uint64_t next_expected = 1;
-    std::map<std::uint64_t, Message> reorder;
+    SeqRing<Message> reorder;
   };
+
+  /// Dense id of a directed link: table hit for interference pairs (the
+  /// entire protocol workload), dynamic registration otherwise.
+  [[nodiscard]] LinkId link_id(cell::CellId from, cell::CellId to) {
+    const LinkId lid = links_.id(from, to);
+    if (lid != kNoLink) [[likely]] return lid;
+    return dynamic_link_id(from, to);
+  }
+  [[nodiscard]] LinkId dynamic_link_id(cell::CellId from, cell::CellId to);
 
   // Reliable-transport internals (active only under link faults).
   void transport_send(Message msg);
@@ -154,7 +188,7 @@ class Network {
   void on_data_frame(const LinkKey& link, std::uint64_t seq,
                      const Message& msg);
   void send_ack(const LinkKey& data_link, std::uint64_t cumulative);
-  void arm_rto(const LinkKey& link, std::uint64_t seq);
+  void arm_rto(const LinkKey& link, LinkId lid, std::uint64_t seq);
   [[nodiscard]] sim::Duration rto(int attempts) const;
 
   /// Hands a fully-reassembled message to the node, or parks it if the
@@ -162,10 +196,14 @@ class Network {
   void deliver_to_node(const Message& msg);
 
   sim::RngStream& link_rng(const LinkKey& link);
+  void ensure_cell(cell::CellId c);
   void record(sim::TraceKind k, const LinkKey& link, std::uint64_t seq,
               std::int64_t b = 0);
 
   sim::Simulator& sim_;
+  // links_ must outlive latency_ (MatrixLatency keeps a pointer after
+  // bind_links), hence the declaration order.
+  LinkTable links_;
   std::unique_ptr<LatencyModel> latency_;
   DeliverFn deliver_;
   ObserveFn observe_;
@@ -174,10 +212,13 @@ class Network {
 
   std::uint64_t total_ = 0;
   std::array<std::uint64_t, kNumMsgKinds> by_kind_{};
-  // Last scheduled delivery per directed link (FIFO floor). Hash map, not
-  // ordered: only ever probed by key (never iterated), so ordering cannot
-  // leak into results.
-  std::unordered_map<LinkKey, sim::SimTime, LinkHash> link_clock_;
+
+  // All per-link state below is indexed by LinkId. link_clock_ is the last
+  // scheduled delivery per directed link (the FIFO floor), probed once per
+  // send.
+  std::vector<sim::SimTime> link_clock_;
+  LinkId n_links_total_ = 0;  // table links + dynamic registrations
+  std::unordered_map<LinkKey, LinkId, LinkHash> extra_;  // off-table pairs
 
   // Fault layer.
   FaultConfig fault_;
@@ -185,11 +226,17 @@ class Network {
   bool transport_ = false;  // per-frame faults on -> reliable transport
   sim::Duration rto_base_ = 0;
   TransportStats tstats_;
-  std::map<LinkKey, LinkTx> tx_;
-  std::map<LinkKey, LinkRx> rx_;
-  std::map<LinkKey, sim::RngStream> fault_rng_;
-  std::set<cell::CellId> paused_;
-  std::map<cell::CellId, std::vector<Message>> held_;
+  std::vector<LinkTx> tx_;  // sized at enable_faults
+  std::vector<LinkRx> rx_;
+  // Lazily materialized: an engaged mt19937_64 is ~2.5 KB, and most links
+  // of a large grid never carry traffic. Derivation is a pure function of
+  // (seed, link), so lazy construction draws the identical stream.
+  std::vector<std::unique_ptr<sim::RngStream>> fault_rng_;
+
+  // Pause state, indexed by cell.
+  std::vector<std::uint8_t> paused_;
+  std::vector<std::vector<Message>> held_;
+  std::size_t paused_count_ = 0;
 };
 
 }  // namespace dca::net

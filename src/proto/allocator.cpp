@@ -78,18 +78,6 @@ void AllocatorNode::send_to_interference(net::Message msg) {
   }
 }
 
-void AllocatorNode::arm_timer(sim::Duration delay, std::function<void()> fn) {
-  if (!resilience_.enabled()) return;
-  disarm_timer();
-  const std::uint64_t gen = timer_gen_;
-  timer_ = env_->schedule_in(delay, [this, gen, f = std::move(fn)]() {
-    if (gen != timer_gen_) return;  // superseded or disarmed meanwhile
-    timer_ = sim::kInvalidEventId;
-    ++timer_gen_;
-    f();
-  });
-}
-
 void AllocatorNode::disarm_timer() {
   ++timer_gen_;  // invalidates any in-flight firing
   if (timer_ == sim::kInvalidEventId) return;

@@ -21,9 +21,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <span>
 #include <string>
+#include <utility>
 
 #include "cell/grid.hpp"
 #include "cell/reuse.hpp"
@@ -93,11 +93,12 @@ class NodeEnv {
   // -- optional services (default no-ops keep lightweight test envs valid)
 
   /// Schedules `fn` after `delay` simulated microseconds (protocol
-  /// timers). Environments without a scheduler may keep the default,
-  /// which silently drops the request — the generation counter in
+  /// timers). The callable is a sim::TimerFn — a small inline-only
+  /// closure, so crossing this virtual boundary never allocates.
+  /// Environments without a scheduler may keep the default, which
+  /// silently drops the request — the generation counter in
   /// AllocatorNode::arm_timer keeps that safe.
-  virtual sim::EventId schedule_in(sim::Duration delay,
-                                   std::function<void()> fn) {
+  virtual sim::EventId schedule_in(sim::Duration delay, sim::TimerFn fn) {
     (void)delay;
     (void)fn;
     return sim::kInvalidEventId;
@@ -223,7 +224,24 @@ class AllocatorNode {
   /// callback runs only if this arming is still the latest when it fires
   /// (a generation counter absorbs lazily-cancelled events and
   /// environments that cannot cancel). No-op when timeouts are disabled.
-  void arm_timer(sim::Duration delay, std::function<void()> fn);
+  /// The wrapped callback must fit TimerFn's inline buffer — every timer
+  /// in-tree is a [this]-capture, so arming never allocates.
+  template <typename F>
+  void arm_timer(sim::Duration delay, F&& fn) {
+    if (!resilience_.enabled()) return;
+    disarm_timer();
+    const std::uint64_t gen = timer_gen_;
+    auto cb = [this, gen, f = std::forward<F>(fn)]() mutable {
+      if (gen != timer_gen_) return;  // superseded or disarmed meanwhile
+      timer_ = sim::kInvalidEventId;
+      ++timer_gen_;
+      f();
+    };
+    static_assert(sim::TimerFn::fits_inline<decltype(cb)>(),
+                  "protocol timer closure must fit TimerFn's inline buffer; "
+                  "grow sim::kTimerFnCapacity if a scheme's timer capture grew");
+    timer_ = env_->schedule_in(delay, sim::TimerFn(std::move(cb)));
+  }
   void disarm_timer();
 
   // -- conformance trace emission ------------------------------------------

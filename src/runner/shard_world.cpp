@@ -5,9 +5,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
 #include <memory>
-#include <set>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -18,6 +16,7 @@
 #include "metrics/collector.hpp"
 #include "net/fault.hpp"
 #include "net/latency.hpp"
+#include "net/link_table.hpp"
 #include "net/message.hpp"
 #include "proto/allocator.hpp"
 #include "radio/noise.hpp"
@@ -30,21 +29,8 @@ namespace dca::runner {
 namespace {
 
 using cell::CellId;
+using net::LinkId;
 using LinkKey = std::pair<CellId, CellId>;
-
-/// Same link mix as net::Network::LinkHash: the per-send FIFO-floor and
-/// canonical-seq probes are hot, and the maps are never iterated, so hash
-/// ordering cannot leak into results.
-struct LinkHash {
-  [[nodiscard]] std::size_t operator()(const LinkKey& k) const noexcept {
-    std::uint64_t v =
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.first))
-         << 32) |
-        static_cast<std::uint32_t>(k.second);
-    v *= 0x9E3779B97F4A7C15ull;
-    return static_cast<std::size_t>(v ^ (v >> 29));
-  }
-};
 
 class ShardedWorld;
 
@@ -69,8 +55,7 @@ class ShardEnv final : public proto::NodeEnv {
   void notify_reassigned(CellId cellId, cell::ChannelId from_ch,
                          cell::ChannelId to_ch) override;
   sim::RngStream& rng(CellId cellId) override;
-  sim::EventId schedule_in(sim::Duration delay,
-                           std::function<void()> fn) override;
+  sim::EventId schedule_in(sim::Duration delay, sim::TimerFn fn) override;
   void cancel_scheduled(sim::EventId id) override;
   void record(const sim::TraceEvent& ev) override;
   [[nodiscard]] bool channel_usable(CellId cellId,
@@ -84,11 +69,14 @@ struct PendingFrame {
 };
 struct LinkTx {
   std::uint64_t next_seq = 1;
-  std::map<std::uint64_t, PendingFrame> pending;
+  // pending covers exactly [lowest_unacked, next_seq): frames enter at
+  // next_seq and leave only as a cumulative-ack prefix.
+  std::uint64_t lowest_unacked = 1;
+  net::SeqRing<PendingFrame> pending;
 };
 struct LinkRx {
   std::uint64_t next_expected = 1;
-  std::map<std::uint64_t, net::Message> reorder;
+  net::SeqRing<net::Message> reorder;
 };
 
 struct PendingCall {
@@ -124,13 +112,22 @@ struct alignas(64) ShardState {
   std::uint64_t total_sent = 0;
   std::uint64_t cross_shard_sent = 0;  // protocol messages leaving this shard
   std::array<std::uint64_t, net::kNumMsgKinds> by_kind{};
-  std::unordered_map<LinkKey, sim::SimTime, LinkHash> link_clock;  // FIFO floor (sender)
-  std::unordered_map<LinkKey, std::uint64_t, LinkHash> link_seq;   // canonical key seq (sender)
-  std::map<LinkKey, LinkTx> tx;                   // transport send window
-  std::map<LinkKey, LinkRx> rx;                   // transport resequencer
-  std::map<LinkKey, sim::RngStream> fault_rng;    // per-link faults (sender)
-  std::set<CellId> paused;
-  std::map<CellId, std::vector<net::Message>> held;
+  // All per-link state is a flat vector indexed by the shared LinkTable's
+  // LinkId (all protocol traffic is within interference neighbourhoods, so
+  // every link is enumerated up front). Each shard only ever touches the
+  // entries whose owning side lives on it, so the full-size vectors are
+  // uncontended; they cost sizeof(entry) * n_links per shard.
+  std::vector<sim::SimTime> link_clock;   // FIFO floor (sender side)
+  std::vector<std::uint64_t> link_seq;    // canonical key seq (sender side)
+  std::vector<LinkTx> tx;                 // transport send window
+  std::vector<LinkRx> rx;                 // transport resequencer
+  // Lazily materialized (an engaged mt19937_64 is ~2.5 KB and most links
+  // of a large grid never fault); derivation is a pure function of
+  // (seed, link) so lazy == eager, draw for draw.
+  std::vector<std::unique_ptr<sim::RngStream>> fault_rng;
+  std::vector<std::uint8_t> paused;                // by cell
+  std::vector<std::vector<net::Message>> held;     // by cell
+  std::size_t paused_count = 0;
   net::TransportStats tstats;
 
   // -- calls & metrics --------------------------------------------------
@@ -181,7 +178,8 @@ class ShardedWorld {
   sim::EventId schedule_local(CellId owner, std::uint8_t klass,
                               sim::SimTime when, F&& fn);
   template <typename F>
-  void schedule_delivery(CellId from, CellId to, sim::SimTime when, F&& fn);
+  void schedule_delivery(LinkId lid, CellId from, CellId to, sim::SimTime when,
+                         F&& fn);
   template <typename F>
   sim::EventId schedule_key(const sim::EventKey& key, F&& fn);
   void flag_check(CellId owner);
@@ -202,7 +200,7 @@ class ShardedWorld {
                      const net::Message& msg);
   void send_ack(const LinkKey& data_link, std::uint64_t cumulative);
   void deliver_to_node(const net::Message& msg);
-  sim::RngStream& link_rng(ShardState& st, const LinkKey& link);
+  sim::RngStream& link_rng(ShardState& st, LinkId lid, const LinkKey& link);
   [[nodiscard]] sim::Duration rto(int attempts) const;
   void record_link(ShardState& st, sim::TraceKind k, const LinkKey& link,
                    std::uint64_t seq, std::int64_t b = 0);
@@ -233,6 +231,10 @@ class ShardedWorld {
   bool tracing_;
   cell::HexGrid grid_;
   cell::ReusePlan plan_;
+  // Shared dense link index. Built once from the grid, read-only during
+  // the run, so all shards can resolve (from,to) -> LinkId without locks;
+  // the per-link *state* lives in each ShardState's flat vectors.
+  net::LinkTable links_;
   std::unique_ptr<net::LatencyModel> latency_;
   radio::NoiseField noise_;
   sim::ShardedKernel kernel_;
@@ -287,8 +289,7 @@ void ShardEnv::notify_reassigned(CellId cellId, cell::ChannelId from_ch,
 sim::RngStream& ShardEnv::rng(CellId cellId) {
   return world->node_rng_[static_cast<std::size_t>(cellId)];
 }
-sim::EventId ShardEnv::schedule_in(sim::Duration delay,
-                                   std::function<void()> fn) {
+sim::EventId ShardEnv::schedule_in(sim::Duration delay, sim::TimerFn fn) {
   if (delay < 0) delay = 0;
   return world->schedule_local(current, sim::kClassTimer, now() + delay,
                                std::move(fn));
@@ -316,6 +317,7 @@ ShardedWorld::ShardedWorld(const ScenarioConfig& config, Scheme scheme,
                 ? cell::ReusePlan::greedy(grid_, config.n_channels)
                 : cell::ReusePlan::cluster(grid_, config.n_channels,
                                            config.cluster)),
+      links_(grid_),
       latency_(std::make_unique<net::FixedLatency>(config.latency)),
       noise_(config.seed, config.radio_fade_prob, config.radio_fade_bucket),
       kernel_(cell::make_partition(grid_, config.shards, config.partition),
@@ -346,6 +348,21 @@ ShardedWorld::ShardedWorld(const ScenarioConfig& config, Scheme scheme,
   horizon_ = config_.duration;
 
   const auto n = static_cast<std::size_t>(grid_.n_cells());
+  const auto n_links = static_cast<std::size_t>(links_.n_links());
+  latency_->bind_links(links_);
+  for (ShardState& st : states_) {
+    st.link_clock.assign(n_links, 0);
+    st.link_seq.assign(n_links, 0);
+    if (transport_) {
+      st.tx.resize(n_links);
+      st.rx.resize(n_links);
+      st.fault_rng.resize(n_links);
+    }
+    if (config_.fault.pauses()) {
+      st.paused.assign(n, 0);
+      st.held.resize(n);
+    }
+  }
   truth_.assign(n, cell::ChannelSet(config_.n_channels));
   cell_seq_.assign(n, 0);
   cur_flags_.assign(n, FlagChange{});
@@ -393,12 +410,16 @@ ShardedWorld::ShardedWorld(const ScenarioConfig& config, Scheme scheme,
 template <typename F>
 sim::EventId ShardedWorld::schedule_key(const sim::EventKey& key, F&& fn) {
   const int dest = kernel_.shard_of(key.owner);
-  return kernel_.schedule(
-      key, [this, dest, owner = key.owner, f = std::forward<F>(fn)]() mutable {
-        states_[static_cast<std::size_t>(dest)].env.current = owner;
-        f();
-        flag_check(owner);
-      });
+  auto wrapped = [this, dest, owner = key.owner,
+                  f = std::forward<F>(fn)]() mutable {
+    states_[static_cast<std::size_t>(dest)].env.current = owner;
+    f();
+    flag_check(owner);
+  };
+  static_assert(sim::EventFn::fits_inline<decltype(wrapped)>(),
+                "sharded dispatch wrapper must fit EventFn's inline buffer; "
+                "grow sim::kEventFnCapacity if the wrapped closure grew");
+  return kernel_.schedule(key, std::move(wrapped));
 }
 
 template <typename F>
@@ -413,8 +434,8 @@ sim::EventId ShardedWorld::schedule_local(CellId owner, std::uint8_t klass,
 }
 
 template <typename F>
-void ShardedWorld::schedule_delivery(CellId from, CellId to, sim::SimTime when,
-                                     F&& fn) {
+void ShardedWorld::schedule_delivery(LinkId lid, CellId from, CellId to,
+                                     sim::SimTime when, F&& fn) {
   // The delivery closure plus the dispatch wrapper must stay inside the
   // kernel's inline callback buffer — this is the sharded hot path.
   static_assert(sim::EventFn::fits_inline<std::decay_t<F>>(),
@@ -425,7 +446,7 @@ void ShardedWorld::schedule_delivery(CellId from, CellId to, sim::SimTime when,
   key.owner = to;
   key.klass = sim::kClassDelivery;
   key.sub = from;
-  key.seq = ++state_of(from).link_seq[{from, to}];
+  key.seq = ++state_of(from).link_seq[static_cast<std::size_t>(lid)];
   (void)schedule_key(key, std::forward<F>(fn));
 }
 
@@ -532,19 +553,20 @@ void ShardedWorld::submit_call(std::uint64_t serial, CellId c,
 
 // -- network ---------------------------------------------------------------
 
-sim::RngStream& ShardedWorld::link_rng(ShardState& st, const LinkKey& link) {
-  auto it = st.fault_rng.find(link);
-  if (it == st.fault_rng.end()) {
+sim::RngStream& ShardedWorld::link_rng(ShardState& st, LinkId lid,
+                                       const LinkKey& link) {
+  auto& slot = st.fault_rng[static_cast<std::size_t>(lid)];
+  if (!slot) {
+    // Stream derivation is a pure function of (seed, endpoints), so lazy
+    // construction draws the exact sequence an eager table would.
     const std::uint64_t label =
         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(link.first))
          << 32) |
         static_cast<std::uint32_t>(link.second);
-    it = st.fault_rng
-             .emplace(link, sim::RngStream::derive(config_.seed ^ 0xFA017ull,
-                                                   label))
-             .first;
+    slot = std::make_unique<sim::RngStream>(
+        sim::RngStream::derive(config_.seed ^ 0xFA017ull, label));
   }
-  return it->second;
+  return *slot;
 }
 
 void ShardedWorld::record_link(ShardState& st, sim::TraceKind k,
@@ -587,20 +609,22 @@ void ShardedWorld::net_send(int s, net::Message msg) {
     transport_send(s, std::move(msg));
     return;
   }
-  const sim::Duration d = latency_->delay(msg.from, msg.to);
+  const LinkId lid = links_.require(msg.from, msg.to);
+  const sim::Duration d = latency_->link_delay(lid, msg.from, msg.to);
   sim::SimTime when = kernel_.now(s) + (d > 0 ? d : 0);
-  auto& floor_time = st.link_clock[{msg.from, msg.to}];
+  sim::SimTime& floor_time = st.link_clock[static_cast<std::size_t>(lid)];
   if (when < floor_time) when = floor_time;
   floor_time = when;
-  schedule_delivery(msg.from, msg.to, when,
+  schedule_delivery(lid, msg.from, msg.to, when,
                     [this, m = std::move(msg)]() { deliver_to_node(m); });
 }
 
 void ShardedWorld::transport_send(int s, net::Message msg) {
   const LinkKey link{msg.from, msg.to};
-  LinkTx& tx = states_[static_cast<std::size_t>(s)].tx[link];
+  const LinkId lid = links_.require(link.first, link.second);
+  LinkTx& tx = states_[static_cast<std::size_t>(s)].tx[static_cast<std::size_t>(lid)];
   const std::uint64_t seq = tx.next_seq++;
-  tx.pending.emplace(seq, PendingFrame{std::move(msg)});
+  tx.pending.insert(seq).msg = std::move(msg);
   transmit(s, link, seq);
   arm_rto(s, link, seq);
 }
@@ -612,34 +636,44 @@ sim::Duration ShardedWorld::rto(int attempts) const {
 
 void ShardedWorld::arm_rto(int s, const LinkKey& link, std::uint64_t seq) {
   ShardState& st = states_[static_cast<std::size_t>(s)];
-  PendingFrame& f = st.tx[link].pending.at(seq);
-  f.timer = schedule_local(
-      link.first, sim::kClassTimer, kernel_.now(s) + rto(f.attempts),
-      [this, s, link, seq]() { on_rto(s, link, seq); });
+  const LinkId lid = links_.require(link.first, link.second);
+  PendingFrame* f =
+      st.tx[static_cast<std::size_t>(lid)].pending.find(seq);
+  assert(f != nullptr && "arming an RTO for a frame not in the window");
+  auto cb = [this, s, link, seq]() { on_rto(s, link, seq); };
+  static_assert(sim::EventFn::fits_inline<decltype(cb)>(),
+                "RTO closure must fit EventFn's inline buffer");
+  f->timer = schedule_local(link.first, sim::kClassTimer,
+                            kernel_.now(s) + rto(f->attempts), std::move(cb));
 }
 
 void ShardedWorld::on_rto(int s, const LinkKey& link, std::uint64_t seq) {
   ShardState& st = states_[static_cast<std::size_t>(s)];
-  LinkTx& tx = st.tx[link];
-  auto it = tx.pending.find(seq);
-  if (it == tx.pending.end()) return;  // acked in the meantime
-  it->second.timer = sim::kInvalidEventId;
-  ++it->second.attempts;
+  const LinkId lid = links_.require(link.first, link.second);
+  PendingFrame* f =
+      st.tx[static_cast<std::size_t>(lid)].pending.find(seq);
+  if (f == nullptr) return;  // acked in the meantime
+  f->timer = sim::kInvalidEventId;
+  ++f->attempts;
   ++st.tstats.retransmissions;
-  record_link(st, sim::TraceKind::kRetransmit, link, seq, it->second.attempts);
+  record_link(st, sim::TraceKind::kRetransmit, link, seq, f->attempts);
   transmit(s, link, seq);
   arm_rto(s, link, seq);
 }
 
 void ShardedWorld::transmit(int s, const LinkKey& link, std::uint64_t seq) {
   ShardState& st = states_[static_cast<std::size_t>(s)];
-  sim::RngStream& rng = link_rng(st, link);
+  const LinkId lid = links_.require(link.first, link.second);
+  sim::RngStream& rng = link_rng(st, lid, link);
   if (config_.fault.drop_prob > 0 && rng.bernoulli(config_.fault.drop_prob)) {
     ++st.tstats.frames_dropped;
     record_link(st, sim::TraceKind::kDrop, link, seq);
     return;  // lost in flight; the RTO will resend it
   }
-  const net::Message& msg = st.tx[link].pending.at(seq).msg;
+  const PendingFrame* f =
+      st.tx[static_cast<std::size_t>(lid)].pending.find(seq);
+  assert(f != nullptr && "transmitting a frame not in the window");
+  const net::Message& msg = f->msg;
   int copies = 1;
   if (config_.fault.dup_prob > 0 && rng.bernoulli(config_.fault.dup_prob)) {
     ++st.tstats.frames_duplicated;
@@ -647,13 +681,13 @@ void ShardedWorld::transmit(int s, const LinkKey& link, std::uint64_t seq) {
     copies = 2;
   }
   for (int i = 0; i < copies; ++i) {
-    sim::Duration d = latency_->delay(link.first, link.second);
+    sim::Duration d = latency_->link_delay(lid, link.first, link.second);
     if (d < 0) d = 0;
     if (config_.fault.jitter > 0) d += rng.uniform_int(0, config_.fault.jitter);
     // No FIFO floor: frame-level reordering is the injected fault; the
     // receive side resequences. The fault jitter only ever *adds* delay,
     // so d stays >= the latency floor and the lookahead contract holds.
-    schedule_delivery(link.first, link.second, kernel_.now(s) + d,
+    schedule_delivery(lid, link.first, link.second, kernel_.now(s) + d,
                       [this, link, seq, m = msg]() {
                         on_data_frame(link, seq, m);
                       });
@@ -662,16 +696,16 @@ void ShardedWorld::transmit(int s, const LinkKey& link, std::uint64_t seq) {
 
 void ShardedWorld::on_data_frame(const LinkKey& link, std::uint64_t seq,
                                  const net::Message& msg) {
-  // Executes on the receiver's shard.
+  // Executes on the receiver's shard. The rx vector is sized once at
+  // construction, so this reference stays valid across node deliveries.
   ShardState& st = state_of(link.second);
-  LinkRx& rx = st.rx[link];
+  const LinkId lid = links_.require(link.first, link.second);
+  LinkRx& rx = st.rx[static_cast<std::size_t>(lid)];
   if (seq >= rx.next_expected) {
-    rx.reorder.emplace(seq, msg);
-    while (true) {
-      auto it = rx.reorder.find(rx.next_expected);
-      if (it == rx.reorder.end()) break;
-      const net::Message m = std::move(it->second);
-      rx.reorder.erase(it);
+    if (!rx.reorder.contains(seq)) rx.reorder.insert(seq) = msg;
+    while (net::Message* next = rx.reorder.find(rx.next_expected)) {
+      const net::Message m = std::move(*next);
+      rx.reorder.erase(rx.next_expected);
       ++rx.next_expected;
       deliver_to_node(m);
     }
@@ -685,35 +719,45 @@ void ShardedWorld::send_ack(const LinkKey& data_link, std::uint64_t cumulative) 
   ShardState& st = state_of(data_link.second);
   ++st.tstats.acks_sent;
   const LinkKey back{data_link.second, data_link.first};
-  sim::RngStream& rng = link_rng(st, back);
+  const LinkId back_lid = links_.require(back.first, back.second);
+  sim::RngStream& rng = link_rng(st, back_lid, back);
   if (config_.fault.drop_prob > 0 && rng.bernoulli(config_.fault.drop_prob)) {
     ++st.tstats.frames_dropped;
     record_link(st, sim::TraceKind::kDrop, back, cumulative);
     return;
   }
-  sim::Duration d = latency_->delay(back.first, back.second);
+  sim::Duration d = latency_->link_delay(back_lid, back.first, back.second);
   if (d < 0) d = 0;
   if (config_.fault.jitter > 0) d += rng.uniform_int(0, config_.fault.jitter);
-  schedule_delivery(back.first, back.second,
-                    kernel_.now(st.env.shard) + d,
-                    [this, data_link, cumulative]() {
-                      // Executes on the original sender's shard.
-                      ShardState& sst = state_of(data_link.first);
-                      LinkTx& tx = sst.tx[data_link];
-                      auto it = tx.pending.begin();
-                      while (it != tx.pending.end() && it->first <= cumulative) {
-                        if (it->second.timer != sim::kInvalidEventId) {
-                          kernel_.cancel(data_link.first, it->second.timer);
-                        }
-                        it = tx.pending.erase(it);
-                      }
-                    });
+  auto cb = [this, data_link, cumulative]() {
+    // Executes on the original sender's shard. The pending window is the
+    // dense range [lowest_unacked, next_seq), so walking the cumulative
+    // prefix reproduces the legacy ordered-map prefix erase exactly.
+    ShardState& sst = state_of(data_link.first);
+    const LinkId lid = links_.require(data_link.first, data_link.second);
+    LinkTx& tx = sst.tx[static_cast<std::size_t>(lid)];
+    while (tx.lowest_unacked <= cumulative &&
+           tx.lowest_unacked < tx.next_seq) {
+      PendingFrame* f = tx.pending.find(tx.lowest_unacked);
+      assert(f != nullptr && "hole in the transport send window");
+      if (f->timer != sim::kInvalidEventId) {
+        kernel_.cancel(data_link.first, f->timer);
+      }
+      tx.pending.erase(tx.lowest_unacked);
+      ++tx.lowest_unacked;
+    }
+  };
+  static_assert(sim::EventFn::fits_inline<decltype(cb)>(),
+                "ack closure must fit EventFn's inline buffer");
+  schedule_delivery(back_lid, back.first, back.second,
+                    kernel_.now(st.env.shard) + d, std::move(cb));
 }
 
 void ShardedWorld::deliver_to_node(const net::Message& msg) {
   ShardState& st = state_of(msg.to);
-  if (!st.paused.empty() && st.paused.count(msg.to) != 0) {
-    st.held[msg.to].push_back(msg);
+  if (st.paused_count != 0 &&
+      st.paused[static_cast<std::size_t>(msg.to)] != 0) {
+    st.held[static_cast<std::size_t>(msg.to)].push_back(msg);
     return;
   }
   nodes_[static_cast<std::size_t>(msg.to)]->on_message(msg);
@@ -731,16 +775,24 @@ void ShardedWorld::schedule_pause_cycle(CellId c, sim::SimTime from_time) {
   const sim::Duration len = std::max<sim::Duration>(sim::from_seconds(len_s), 1);
   (void)schedule_local(c, sim::kClassControl, at, [this, c, at, len]() {
     ShardState& st = state_of(c);
-    if (st.paused.insert(c).second && tracing_) {
-      sim::TraceEvent e;
-      e.kind = sim::TraceKind::kPause;
-      e.t = at;
-      e.cell = static_cast<std::int32_t>(c);
-      st.trace.push_back(e);
+    std::uint8_t& flag = st.paused[static_cast<std::size_t>(c)];
+    if (flag == 0) {
+      flag = 1;
+      ++st.paused_count;
+      if (tracing_) {
+        sim::TraceEvent e;
+        e.kind = sim::TraceKind::kPause;
+        e.t = at;
+        e.cell = static_cast<std::int32_t>(c);
+        st.trace.push_back(e);
+      }
     }
     (void)schedule_local(c, sim::kClassControl, at + len, [this, c, at, len]() {
       ShardState& ist = state_of(c);
-      if (ist.paused.erase(c) != 0) {
+      std::uint8_t& iflag = ist.paused[static_cast<std::size_t>(c)];
+      if (iflag != 0) {
+        iflag = 0;
+        --ist.paused_count;
         if (tracing_) {
           sim::TraceEvent e;
           e.kind = sim::TraceKind::kResume;
@@ -748,10 +800,11 @@ void ShardedWorld::schedule_pause_cycle(CellId c, sim::SimTime from_time) {
           e.cell = static_cast<std::int32_t>(c);
           ist.trace.push_back(e);
         }
-        auto it = ist.held.find(c);
-        if (it != ist.held.end()) {
-          std::vector<net::Message> backlog = std::move(it->second);
-          ist.held.erase(it);
+        std::vector<net::Message>& slot =
+            ist.held[static_cast<std::size_t>(c)];
+        if (!slot.empty()) {
+          const std::vector<net::Message> backlog = std::move(slot);
+          slot.clear();
           for (const net::Message& m : backlog) {
             nodes_[static_cast<std::size_t>(m.to)]->on_message(m);
           }

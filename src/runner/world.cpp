@@ -61,7 +61,8 @@ World::World(const ScenarioConfig& config, Scheme scheme,
     std::abort();
   }
   net_ = std::make_unique<net::Network>(
-      sim_, latency_override ? std::move(latency_override) : make_latency(config_));
+      sim_, latency_override ? std::move(latency_override) : make_latency(config_),
+      &grid_);
   net_->set_receiver([this](const net::Message& msg) {
     nodes_[static_cast<std::size_t>(msg.to)]->on_message(msg);
   });
@@ -109,7 +110,11 @@ void World::set_recorder(sim::TraceRecorder* rec) {
   net_->set_recorder(rec);
 }
 
-sim::EventId World::schedule_in(sim::Duration delay, std::function<void()> fn) {
+sim::EventId World::schedule_in(sim::Duration delay, sim::TimerFn fn) {
+  // A TimerFn nests inside the event slab's EventFn as an ordinary inline
+  // callable — the timer path stays allocation-free end to end.
+  static_assert(sim::EventFn::fits_inline<sim::TimerFn>(),
+                "TimerFn must nest inline inside EventFn");
   return sim_.schedule_in(delay, std::move(fn));
 }
 

@@ -55,7 +55,7 @@ class World final : public proto::NodeEnv {
   void notify_reassigned(cell::CellId cellId, cell::ChannelId from_ch,
                          cell::ChannelId to_ch) override;
   sim::RngStream& rng(cell::CellId cellId) override;
-  sim::EventId schedule_in(sim::Duration delay, std::function<void()> fn) override;
+  sim::EventId schedule_in(sim::Duration delay, sim::TimerFn fn) override;
   void cancel_scheduled(sim::EventId id) override;
   void record(const sim::TraceEvent& ev) override;
   [[nodiscard]] bool channel_usable(cell::CellId cellId,

@@ -31,10 +31,12 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Schedules `action` to fire at absolute time `when`.
-  /// Returns a handle usable with cancel().
-  EventId schedule(SimTime when, Action action) {
-    const std::uint32_t slot = slab_.acquire(std::move(action));
+  /// Schedules a callable to fire at absolute time `when`; it is stored
+  /// straight into the slab slot (no intermediate EventFn when a raw
+  /// closure is passed). Returns a handle usable with cancel().
+  template <typename F>
+  EventId schedule(SimTime when, F&& action) {
+    const std::uint32_t slot = slab_.acquire(std::forward<F>(action));
     const std::uint32_t gen = slab_.gen(slot);
     heap_.push(Entry{when, seq_++, slot, gen});
     ++live_;

@@ -66,15 +66,19 @@ class EventSlab {
   EventSlab(EventSlab&&) noexcept = default;
   EventSlab& operator=(EventSlab&&) noexcept = default;
 
-  /// Stores `fn` in a free slot (growing by one chunk if none) and returns
-  /// the slot index. The slot's current generation stamps the handle.
-  std::uint32_t acquire(EventFn fn) {
+  /// Stores a callable in a free slot (growing by one chunk if none) and
+  /// returns the slot index. The slot's current generation stamps the
+  /// handle. Raw callables are constructed directly into the slot's inline
+  /// buffer (one move, no intermediate EventFn); an EventFn rvalue
+  /// degrades to a relocate.
+  template <typename F>
+  std::uint32_t acquire(F&& fn) {
     if (free_head_ == kNil) grow();
     const std::uint32_t slot = free_head_;
     Node& n = node(slot);
     free_head_ = n.next_free;
     n.next_free = kLiveMark;
-    n.fn = std::move(fn);
+    n.fn.assign(std::forward<F>(fn));
     return slot;
   }
 

@@ -6,15 +6,8 @@
 #include <thread>
 
 namespace dca::sim {
-namespace {
 
-// Which shard the calling thread is currently executing events for; -1
-// outside the worker execution phase (setup, teardown). Lets schedule()
-// distinguish "same-shard insert" from "cross-shard mailbox" without
-// passing the context through every callback.
-thread_local int tls_current_shard = -1;
-
-}  // namespace
+thread_local int ShardedKernel::tls_current_shard_ = -1;
 
 namespace {
 
@@ -88,13 +81,9 @@ std::size_t ShardedKernel::pending() const {
   return n;
 }
 
-EventId ShardedKernel::schedule(const EventKey& key, Action action) {
-  const int dest = shard_of(key.owner);
-  const int src = tls_current_shard;
-  if (!running_ || src == dest) {
-    return shards_[static_cast<std::size_t>(dest)].queue.schedule(
-        key, std::move(action));
-  }
+EventId ShardedKernel::schedule_remote(const EventKey& key, Action action,
+                                       int dest) {
+  const int src = tls_current_shard_;
   // Cross-shard while running: the lookahead contract guarantees the event
   // lands beyond the current window, so the destination shard cannot have
   // passed it. Violations are scheduler bugs, not recoverable conditions.
@@ -132,14 +121,14 @@ void ShardedKernel::drain_and_execute(int s) {
     }
     slot.clear();
   }
-  tls_current_shard = s;
+  tls_current_shard_ = s;
   while (!shard.queue.empty() && shard.queue.next_key().when < window_cap_) {
     ShardQueue::Fired fired = shard.queue.pop();
     shard.now = fired.key.when;
     ++shard.executed;
     fired.action();
   }
-  tls_current_shard = -1;
+  tls_current_shard_ = -1;
 }
 
 void ShardedKernel::window_barrier_completion() {

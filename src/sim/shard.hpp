@@ -79,8 +79,11 @@ class ShardQueue {
  public:
   using Action = EventFn;
 
-  EventId schedule(const EventKey& key, Action action) {
-    const std::uint32_t slot = slab_.acquire(std::move(action));
+  /// Schedules a callable under a canonical key; raw closures land
+  /// directly in the slab slot (no intermediate EventFn).
+  template <typename F>
+  EventId schedule(const EventKey& key, F&& action) {
+    const std::uint32_t slot = slab_.acquire(std::forward<F>(action));
     const std::uint32_t gen = slab_.gen(slot);
     heap_.push(Entry{key, slot, gen});
     ++live_;
@@ -199,8 +202,18 @@ class ShardedKernel {
   /// key.when to land beyond the current window (the lookahead contract);
   /// violating it aborts. Returns a cancellation handle for same-shard
   /// events, kInvalidEventId for cross-shard ones (deliveries are never
-  /// cancelled).
-  EventId schedule(const EventKey& key, Action action);
+  /// cancelled). The same-shard fast path stores the closure straight
+  /// into the owning queue's slab; only the cross-shard mailbox path
+  /// materializes an EventFn (the outbox must hold a concrete type).
+  template <typename F>
+  EventId schedule(const EventKey& key, F&& action) {
+    const int dest = shard_of(key.owner);
+    if (!running_ || tls_current_shard_ == dest) {
+      return shards_[static_cast<std::size_t>(dest)].queue.schedule(
+          key, std::forward<F>(action));
+    }
+    return schedule_remote(key, Action(std::forward<F>(action)), dest);
+  }
 
   /// Cancels a same-shard event by its owner cell and handle.
   void cancel(std::int32_t owner, EventId id);
@@ -231,9 +244,16 @@ class ShardedKernel {
     std::uint64_t executed = 0;
   };
 
+  EventId schedule_remote(const EventKey& key, Action action, int dest);
   void drain_and_execute(int s);
   void window_barrier_completion();
   [[nodiscard]] bool running() const noexcept { return running_; }
+
+  // Which shard the calling thread is currently executing events for; -1
+  // outside the worker execution phase (setup, teardown). Lets schedule()
+  // distinguish "same-shard insert" from "cross-shard mailbox" without
+  // passing the context through every callback.
+  static thread_local int tls_current_shard_;
 
   int n_shards_;
   int n_threads_;

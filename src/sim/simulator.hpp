@@ -4,7 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "sim/types.hpp"
@@ -25,16 +25,19 @@ class Simulator {
 
   /// Schedules `action` to run `delay` microseconds from now.
   /// Negative delays are treated as zero (fire "immediately", i.e. after
-  /// all events already scheduled for the current instant).
-  EventId schedule_in(Duration delay, Action action) {
+  /// all events already scheduled for the current instant). Accepts any
+  /// void() callable; it lands directly in the event slab's inline buffer.
+  template <typename F>
+  EventId schedule_in(Duration delay, F&& action) {
     if (delay < 0) delay = 0;
-    return queue_.schedule(now_ + delay, std::move(action));
+    return queue_.schedule(now_ + delay, std::forward<F>(action));
   }
 
   /// Schedules `action` at an absolute time, which must not be in the past.
-  EventId schedule_at(SimTime when, Action action) {
+  template <typename F>
+  EventId schedule_at(SimTime when, F&& action) {
     if (when < now_) when = now_;
-    return queue_.schedule(when, std::move(action));
+    return queue_.schedule(when, std::forward<F>(action));
   }
 
   /// Cancels a scheduled event (no-op if it already fired).

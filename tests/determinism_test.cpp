@@ -146,6 +146,46 @@ TEST(Determinism, ShardedEngineMatchesClassicUnderFaults) {
   }
 }
 
+// Link-table stress: a much hotter fault cocktail (quarter of all frames
+// dropped, heavy duplication, jitter wider than the base latency, plus
+// MSS pauses) drives the flat per-link rings hard — deep retransmit
+// windows, long reorder runs, pause backlogs — and the full structured
+// trace must still match the classic engine event for event at every
+// shard count.
+TEST(Determinism, LinkTableSurvivesFullFaultCocktailBitExactly) {
+  runner::ScenarioConfig cfg = small_config();
+  cfg.duration = sim::minutes(1);
+  cfg.warmup = sim::seconds(10);
+  cfg.fault.drop_prob = 0.25;
+  cfg.fault.dup_prob = 0.15;
+  cfg.fault.jitter = sim::milliseconds(8);
+  cfg.fault.pause_rate_per_min = 1.0;
+  cfg.fault.pause_mean_s = 0.5;
+  cfg.request_timeout = sim::milliseconds(400);
+
+  for (const Scheme s : {Scheme::kBasicSearch, Scheme::kAdaptive}) {
+    SCOPED_TRACE(runner::scheme_name(s));
+    sim::TraceRecorder rec1;
+    const RunResult r1 = runner::run_uniform(cfg, s, 0.9, &rec1);
+    ASSERT_GT(rec1.size(), 0u);
+    EXPECT_GT(r1.transport.frames_dropped, 0u);
+    EXPECT_GT(r1.transport.frames_duplicated, 0u);
+    EXPECT_GT(r1.transport.retransmissions, 0u);
+
+    for (const int shards : {2, 4}) {
+      SCOPED_TRACE(shards);
+      runner::ScenarioConfig cs = cfg;
+      cs.shards = shards;
+      cs.threads = 0;
+      sim::TraceRecorder recs;
+      const RunResult rs = runner::run_uniform(cs, s, 0.9, &recs);
+      expect_same_result(r1, rs, "stress cocktail, classic vs sharded");
+      EXPECT_EQ(rec1.events(), recs.events())
+          << "full trace must be identical at shards=" << shards;
+    }
+  }
+}
+
 // Thread count must be wall-clock-only: same shard count, different
 // worker counts, identical everything.
 TEST(Determinism, ShardedThreadCountIsResultInvariant) {
