@@ -377,6 +377,50 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(xs_striped),
               static_cast<unsigned long long>(xs_blocks), xs_ratio);
 
+  // Mobility/handoff throughput: the same scenario with short dwells, so
+  // nearly every call migrates several times. Handoffs ride HANDOFF
+  // messages over the ordinary links — on the sharded engine many cross a
+  // shard boundary, so this measures the migration machinery's cost and
+  // its cross-shard traffic, classic vs sharded.
+  dca::benchutil::heading("mobility/handoff: events/sec and cross-shard messages");
+  struct MobilityRun {
+    int shards = 1;
+    double wall_s = 0.0;
+    std::uint64_t events = 0;
+    double events_per_sec = 0.0;
+    std::uint64_t cross_shard = 0;
+    std::uint64_t handoff_messages = 0;
+    std::uint64_t handoffs_offered = 0;
+  };
+  const double kBenchDwellS = 3.0;  // mean holding 5 s => ~1-2 hops per call
+  std::vector<MobilityRun> mobility_runs;
+  for (const int shards : {1, shards_n}) {
+    dca::runner::ScenarioConfig mc = bench_config();
+    mc.mean_dwell_s = kBenchDwellS;
+    mc.shards = shards;
+    mc.threads = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunResult r = dca::runner::run_uniform(mc, Scheme::kAdaptive, rho);
+    const auto t1 = std::chrono::steady_clock::now();
+    MobilityRun mr;
+    mr.shards = shards;
+    mr.wall_s = std::chrono::duration<double>(t1 - t0).count();
+    mr.events = r.executed_events;
+    mr.events_per_sec =
+        mr.wall_s > 0 ? static_cast<double>(mr.events) / mr.wall_s : 0.0;
+    mr.cross_shard = r.cross_shard_messages;
+    mr.handoff_messages = r.messages_by_kind[static_cast<std::size_t>(
+        dca::net::MsgKind::kHandoff)];
+    mr.handoffs_offered = r.agg.handoff_offered;
+    mobility_runs.push_back(mr);
+    std::printf("  adaptive+mobility shards=%d  %9.3f s  %12.0f ev/s  "
+                "handoff_msgs=%llu cross_shard=%llu handoffs=%llu\n",
+                shards, mr.wall_s, mr.events_per_sec,
+                static_cast<unsigned long long>(mr.handoff_messages),
+                static_cast<unsigned long long>(mr.cross_shard),
+                static_cast<unsigned long long>(mr.handoffs_offered));
+  }
+
   // Determinism sanity for the record: events/sec means nothing if the
   // sharded engine diverged. The merged trace must satisfy every
   // conformance invariant (incl. reuse-distance, which substitutes for
@@ -457,6 +501,34 @@ int main(int argc, char** argv) {
     w.end_object();
   }
   w.end_array();
+  w.key("mobility");
+  w.begin_object();
+  w.key("scheme");
+  w.value("adaptive");
+  w.key("mean_dwell_s");
+  w.value(kBenchDwellS);
+  w.key("runs");
+  w.begin_array();
+  for (const auto& mr : mobility_runs) {
+    w.begin_object();
+    w.key("shards");
+    w.value(mr.shards);
+    w.key("wall_s");
+    w.value(mr.wall_s);
+    w.key("events");
+    w.value(mr.events);
+    w.key("events_per_sec");
+    w.value(mr.events_per_sec);
+    w.key("cross_shard_messages");
+    w.value(mr.cross_shard);
+    w.key("handoff_messages");
+    w.value(mr.handoff_messages);
+    w.key("handoffs_offered");
+    w.value(mr.handoffs_offered);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
   w.key("partition_comparison");
   w.begin_object();
   w.key("grid");

@@ -114,7 +114,21 @@ class Collector {
     return unattributed_;
   }
 
+  /// True iff this collector holds the record (open or closed) for
+  /// `serial`. The sharded engine uses this to route billing for migrated
+  /// calls: exactly one shard ever opens a given serial's record, so a
+  /// message observed on a shard that does not know the serial must be
+  /// billed through the foreign-billing log instead.
+  [[nodiscard]] bool knows(std::uint64_t serial) const noexcept {
+    return open_.count(serial) != 0 || closed_index_.count(serial) != 0;
+  }
+
   [[nodiscard]] const std::vector<CallRecord>& records() const noexcept {
+    return closed_;
+  }
+  /// Mutable access for post-run enrichment (the engines fill the
+  /// deferred N_borrow / N_search neighbour samples in place).
+  [[nodiscard]] std::vector<CallRecord>& mutable_records() noexcept {
     return closed_;
   }
   [[nodiscard]] std::size_t open_count() const noexcept { return open_.size(); }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
@@ -62,6 +63,20 @@ class LatencyModel {
   [[nodiscard]] virtual sim::Duration min_one_way() const {
     return max_one_way();
   }
+
+  /// Lower bound on the delay of one specific directed link. The sharded
+  /// engine's conservative lookahead is the minimum floor over the links
+  /// that actually cross shards, which can beat the global min_one_way()
+  /// when only fast links stay shard-internal. Must be callable before
+  /// bind_links(). Defaults to the global floor.
+  [[nodiscard]] virtual sim::Duration link_floor(LinkId lid,
+                                                 cell::CellId from,
+                                                 cell::CellId to) const {
+    (void)lid;
+    (void)from;
+    (void)to;
+    return min_one_way();
+  }
 };
 
 class FixedLatency final : public LatencyModel {
@@ -73,6 +88,10 @@ class FixedLatency final : public LatencyModel {
   }
   [[nodiscard]] sim::Duration max_one_way() const override { return t_; }
   [[nodiscard]] sim::Duration min_one_way() const override { return t_; }
+  [[nodiscard]] sim::Duration link_floor(LinkId, cell::CellId,
+                                         cell::CellId) const override {
+    return t_;
+  }
 
  private:
   sim::Duration t_;
@@ -91,11 +110,83 @@ class JitterLatency final : public LatencyModel {
   }
   [[nodiscard]] sim::Duration max_one_way() const override { return hi_; }
   [[nodiscard]] sim::Duration min_one_way() const override { return lo_; }
+  [[nodiscard]] sim::Duration link_floor(LinkId, cell::CellId,
+                                         cell::CellId) const override {
+    return lo_;
+  }
 
  private:
   sim::Duration lo_;
   sim::Duration hi_;
   sim::RngStream rng_;
+};
+
+/// Uniform jitter in [lo, hi] drawn from an independent RNG stream per
+/// directed link, derived purely from (seed, from, to). Unlike
+/// JitterLatency's single shared stream, the draw a message sees depends
+/// only on its link and its position in that link's send sequence — which
+/// is identical in the classic and sharded engines (per-link send order is
+/// canonical), so both engines see the same delays message-for-message.
+class LinkJitterLatency final : public LatencyModel {
+ public:
+  LinkJitterLatency(sim::Duration lo, sim::Duration hi, std::uint64_t seed)
+      : lo_(lo), hi_(std::max(lo, hi)), seed_(seed) {}
+
+  sim::Duration delay(cell::CellId from, cell::CellId to) override {
+    return stream(kNoLink, from, to).uniform_int(lo_, hi_);
+  }
+
+  /// Flattens stream storage onto LinkIds so the per-message lookup is an
+  /// array load; pairs outside the table fall back to a map.
+  void bind_links(const LinkTable& links) override {
+    flat_.clear();
+    flat_.resize(static_cast<std::size_t>(links.n_links()));
+  }
+
+  sim::Duration link_delay(LinkId lid, cell::CellId from,
+                           cell::CellId to) override {
+    return stream(lid, from, to).uniform_int(lo_, hi_);
+  }
+
+  [[nodiscard]] sim::Duration max_one_way() const override { return hi_; }
+  [[nodiscard]] sim::Duration min_one_way() const override { return lo_; }
+  [[nodiscard]] sim::Duration link_floor(LinkId, cell::CellId,
+                                         cell::CellId) const override {
+    return lo_;
+  }
+
+ private:
+  sim::RngStream& stream(LinkId lid, cell::CellId from, cell::CellId to) {
+    if (lid >= 0 && static_cast<std::size_t>(lid) < flat_.size()) {
+      auto& slot = flat_[static_cast<std::size_t>(lid)];
+      if (slot == nullptr) {
+        slot = std::make_unique<sim::RngStream>(make_stream(from, to));
+      }
+      return *slot;
+    }
+    auto it = extra_.find({from, to});
+    if (it == extra_.end()) {
+      it = extra_.emplace(std::make_pair(from, to), make_stream(from, to))
+               .first;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] sim::RngStream make_stream(cell::CellId from,
+                                           cell::CellId to) const {
+    // Distinct tag from the per-link fault streams (0xFA017) so jitter and
+    // fault draws never correlate.
+    const std::uint64_t label =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+        static_cast<std::uint32_t>(to);
+    return sim::RngStream::derive(seed_ ^ 0x9177e5ull, label);
+  }
+
+  sim::Duration lo_;
+  sim::Duration hi_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<sim::RngStream>> flat_;  // by LinkId once bound
+  std::map<std::pair<cell::CellId, cell::CellId>, sim::RngStream> extra_;
 };
 
 class MatrixLatency final : public LatencyModel {
@@ -142,6 +233,11 @@ class MatrixLatency final : public LatencyModel {
   }
   [[nodiscard]] sim::Duration min_one_way() const override {
     return std::min(default_, min_);
+  }
+  [[nodiscard]] sim::Duration link_floor(LinkId, cell::CellId from,
+                                         cell::CellId to) const override {
+    const auto it = overrides_.find({from, to});
+    return it == overrides_.end() ? default_ : it->second;
   }
 
  private:

@@ -24,6 +24,10 @@ enum class MsgKind : std::uint8_t {
   kRelease,      // RELEASE(j, r)
   kAcquisition,  // ACQUISITION(acq_type, j, r)
   kTransfer,     // TRANSFER(op, r): allocated-set transfer negotiation
+  kHandoff,      // HANDOFF(serial, ends): mobile moved to the destination
+                 // cell mid-call; `serial` encodes (call, hop) and
+                 // `ts.count` carries the call's absolute end instant.
+                 // Handled by the runner, never by allocator nodes.
 };
 
 /// kTransfer sub-operation (the paper's TRANSFER / AGREE / KEEP / RELEASE
@@ -101,12 +105,13 @@ struct Message {
       case MsgKind::kRelease: return "RELEASE";
       case MsgKind::kAcquisition: return "ACQUISITION";
       case MsgKind::kTransfer: return "TRANSFER";
+      case MsgKind::kHandoff: return "HANDOFF";
     }
     return "?";
   }
 };
 
 /// Number of distinct MsgKind values (for counter arrays).
-inline constexpr int kNumMsgKinds = 6;
+inline constexpr int kNumMsgKinds = 7;
 
 }  // namespace dca::net

@@ -172,6 +172,34 @@ void ConformanceChecker::feed(const sim::TraceEvent& ev) {
     case sim::TraceKind::kRetransmit:
       break;  // fault-layer bookkeeping, no invariant attached
 
+    case sim::TraceKind::kHandoffLeave: {
+      if (!in_grid(ev.cell) || !in_grid(ev.peer)) {
+        violate(ev, "bad-cell", cell_str() + " peer=" + std::to_string(ev.peer));
+        return;
+      }
+      if (!migrating_.emplace(ev.serial, ev.peer).second) {
+        violate(ev, "duplicate-handoff-leave",
+                "serial " + std::to_string(ev.serial) + " already in flight");
+      }
+      break;
+    }
+
+    case sim::TraceKind::kHandoffRecv: {
+      const auto it = migrating_.find(ev.serial);
+      if (it == migrating_.end()) {
+        violate(ev, "recv-without-leave",
+                cell_str() + " serial=" + std::to_string(ev.serial));
+        return;
+      }
+      if (it->second != ev.cell) {
+        violate(ev, "handoff-misrouted",
+                "serial=" + std::to_string(ev.serial) + " left towards cell=" +
+                    std::to_string(it->second) + " but arrived at " + cell_str());
+      }
+      migrating_.erase(it);
+      break;
+    }
+
     case sim::TraceKind::kRunEnd: {
       report_.saw_run_end = true;
       if (ev.a == 0) {
@@ -203,6 +231,13 @@ ConformanceReport ConformanceChecker::finish() {
     violate(end, "unclosed-search",
             "cell=" + std::to_string(cellId) + " serial=" +
                 std::to_string(s.serial) + " never decided");
+  }
+  for (const auto& [serial, dest] : migrating_) {
+    // The transport is reliable (drops are retransmitted), so a leave
+    // whose recv never appears means the call was lost in migration.
+    violate(end, "lost-handoff",
+            "serial=" + std::to_string(serial) + " left towards cell=" +
+                std::to_string(dest) + " but never arrived");
   }
   return report_;
 }
@@ -307,7 +342,7 @@ bool int_field(const std::string& line, const std::string& key, std::int64_t& ou
 }
 
 bool kind_from_name(const std::string& name, sim::TraceKind& out) {
-  for (int k = 0; k <= static_cast<int>(sim::TraceKind::kRunEnd); ++k) {
+  for (int k = 0; k <= static_cast<int>(sim::TraceKind::kHandoffRecv); ++k) {
     const auto kind = static_cast<sim::TraceKind>(k);
     if (name == sim::trace_kind_name(kind)) {
       out = kind;

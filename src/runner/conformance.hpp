@@ -13,6 +13,9 @@
 //     nothing);
 //   * lifecycle hygiene — every acquire matches an open request, every
 //     release matches a held channel, nothing is double-closed;
+//   * migration pairing — every HANDOFF_LEAVE is answered by exactly one
+//     HANDOFF_RECV for the same serial (the transport is reliable, so a
+//     leave without its recv is a lost call);
 //   * terminal cleanliness — at run end no channel is still held, no
 //     request is still open (a wedged call), no search is still undecided,
 //     and the run reached quiescence.
@@ -82,6 +85,7 @@ class ConformanceChecker {
   std::vector<cell::ChannelSet> held_;                     // by cell
   std::unordered_map<std::uint64_t, std::int32_t> open_;   // serial -> cell
   std::unordered_map<std::int32_t, OpenSearch> searching_; // cell -> search
+  std::unordered_map<std::uint64_t, std::int32_t> migrating_;  // serial -> dest
 };
 
 /// Convenience wrapper: feed a whole trace, return the report.

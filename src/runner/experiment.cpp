@@ -31,6 +31,7 @@ RunResult run_profile(const ScenarioConfig& config, Scheme scheme,
 
   RunResult out;
   out.scheme = scheme;
+  world.finalize_neighbor_samples();
   out.agg = world.collector().aggregate(world.latency_bound(), config.warmup);
   out.total_messages = world.network().total_sent();
   for (int k = 0; k < net::kNumMsgKinds; ++k) {

@@ -1,0 +1,94 @@
+// Deferred neighbour-flag sampling, shared by both engines.
+//
+// The paper's N_borrow / N_search statistics sample, at every request's
+// close instant, how many interference neighbours are in borrowing /
+// searching mode. Sampling that live is trivial on the classic
+// single-queue engine but impossible on the sharded one (a neighbour on
+// another shard is mid-window, its state unreadable), and worse, a live
+// sample is sensitive to *intra-instant execution order* — an
+// implementation detail the two engines do not share.
+//
+// Both engines therefore record a per-cell timeline of flag changes (one
+// entry after each executed event that changed the cell's flags) and
+// reconstruct the samples after the run with a single shared convention:
+// the close at (t, closer) observes neighbour j's flags *after* j's
+// events at instant t when j < closer, and *before* them otherwise —
+// i.e. flags as of the canonical (when, owner) event order, which is a
+// pure function of the scenario. Timelines only need the final flag
+// state per (cell, instant) to agree, and that is fixed by the (bit-
+// identical) event streams, so both engines reconstruct the same counts
+// for any shard/thread configuration.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "cell/grid.hpp"
+#include "metrics/collector.hpp"
+#include "sim/types.hpp"
+
+namespace dca::runner {
+
+/// One (t, flags) step of a cell's is_borrowing/is_searching timeline.
+struct FlagChange {
+  sim::SimTime t = 0;
+  bool borrowing = false;
+  bool searching = false;
+};
+
+class FlagTimelines {
+ public:
+  void reset(std::size_t n_cells) {
+    cur_.assign(n_cells, FlagChange{});
+    timelines_.assign(n_cells, {});
+  }
+
+  /// Records cell `c`'s flags after an event at instant `t`; appends a
+  /// timeline entry only when they changed. Must be called with
+  /// non-decreasing `t` per cell (execution order guarantees this).
+  void observe(cell::CellId c, sim::SimTime t, bool borrowing, bool searching) {
+    FlagChange& cur = cur_[static_cast<std::size_t>(c)];
+    if (borrowing == cur.borrowing && searching == cur.searching) return;
+    cur.borrowing = borrowing;
+    cur.searching = searching;
+    cur.t = t;
+    timelines_[static_cast<std::size_t>(c)].push_back(cur);
+  }
+
+  /// Flags of neighbour `j` as observed by a close event at (t, closer)
+  /// in canonical order: j's instant-t changes are visible iff j < closer
+  /// (cell is the first canonical tiebreak after time).
+  [[nodiscard]] std::pair<bool, bool> flags_at(cell::CellId j, sim::SimTime t,
+                                               cell::CellId closer) const {
+    const sim::SimTime bound = j < closer ? t : t - 1;
+    const auto& tl = timelines_[static_cast<std::size_t>(j)];
+    auto it = std::upper_bound(
+        tl.begin(), tl.end(), bound,
+        [](sim::SimTime lhs, const FlagChange& fc) { return lhs < fc.t; });
+    if (it == tl.begin()) return {false, false};
+    --it;
+    return {it->borrowing, it->searching};
+  }
+
+  /// Fills every record's neighbour samples from the timelines (legacy
+  /// semantics: every interference neighbour is sampled at the close
+  /// instant for acquired and blocked records alike; the self-searching
+  /// term — acquisitions only — was already sampled live at close).
+  void apply_neighbor_samples(const cell::HexGrid& grid,
+                              std::vector<metrics::CallRecord>& records) const {
+    for (metrics::CallRecord& rec : records) {
+      for (const cell::CellId j : grid.interference(rec.cellId)) {
+        const auto [b, s] = flags_at(j, rec.t_decision, rec.cellId);
+        if (b) ++rec.borrowing_neighbors;
+        if (s) ++rec.searching_neighbors;
+      }
+    }
+  }
+
+ private:
+  std::vector<FlagChange> cur_;  // latest flags per cell
+  std::vector<std::vector<FlagChange>> timelines_;
+};
+
+}  // namespace dca::runner

@@ -1,7 +1,10 @@
 #include "runner/scenario.hpp"
 
+#include <algorithm>
+
 #include "cell/reuse.hpp"
 #include "cell/spectrum.hpp"
+#include "net/latency.hpp"
 
 namespace dca::runner {
 
@@ -27,6 +30,8 @@ std::string validate_scenario(const ScenarioConfig& c) {
   }
   if (c.mean_holding_s <= 0.0) return "mean holding time must be positive";
   if (c.latency < 0) return "latency cannot be negative";
+  if (c.latency_jitter < 0) return "latency_jitter cannot be negative";
+  if (c.mean_dwell_s < 0.0) return "mean dwell cannot be negative";
   if (c.duration <= 0) return "duration must be positive";
   if (c.max_update_attempts < 1) return "retry cap must be >= 1";
   if (c.adaptive.theta_low < 1) return "theta_low must be >= 1 (DESIGN.md note 4)";
@@ -52,16 +57,8 @@ std::string validate_scenario(const ScenarioConfig& c) {
     if (c.shards > c.rows * c.cols)
       return "more shards than cells";
     if (c.latency <= 0)
-      return "sharded execution needs latency > 0 (the latency floor is "
-             "the engine's lookahead)";
-    if (c.latency_jitter > 0)
-      return "latency_jitter draws from one global RNG stream and cannot "
-             "be shard-partitioned deterministically; use fault jitter "
-             "(per-link streams) with shards > 1";
-    if (c.mean_dwell_s > 0.0)
-      return "mobility draws from one global RNG stream and hands calls "
-             "off across cells instantaneously; not supported with "
-             "shards > 1";
+      return "sharded execution needs latency > 0 (the per-link latency "
+             "floors are the engine's lookahead)";
   }
   if (c.radio_fade_prob < 0.0 || c.radio_fade_prob >= 1.0)
     return "radio_fade_prob must be in [0, 1)";
@@ -79,6 +76,19 @@ std::string validate_scenario(const ScenarioConfig& c) {
            "rows % 14 == 0 and cols % 7 == 0, e.g. 14x14; or greedy_plan)";
   }
   return "";
+}
+
+std::unique_ptr<net::LatencyModel> make_scenario_latency(
+    const ScenarioConfig& c) {
+  if (c.latency_jitter > 0) {
+    // Uniform in [latency - jitter, latency], floored at 1 us so time
+    // always advances. Per-link streams keep the draw sequence identical
+    // across engines (see LinkJitterLatency).
+    const sim::Duration lo =
+        std::max<sim::Duration>(c.latency - c.latency_jitter, 1);
+    return std::make_unique<net::LinkJitterLatency>(lo, c.latency, c.seed);
+  }
+  return std::make_unique<net::FixedLatency>(c.latency);
 }
 
 }  // namespace dca::runner

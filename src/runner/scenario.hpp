@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "cell/grid.hpp"
@@ -11,6 +12,10 @@
 #include "net/fault.hpp"
 #include "proto/policy.hpp"
 #include "sim/types.hpp"
+
+namespace dca::net {
+class LatencyModel;
+}
 
 namespace dca::runner {
 
@@ -70,9 +75,10 @@ struct ScenarioConfig {
   /// Engine parallelism. shards == 1 (default) runs the classic
   /// single-queue engine, bit-identical to earlier builds. shards > 1
   /// partitions cells across per-shard event queues synchronized on the
-  /// latency floor; results are bit-identical for any shards/threads
-  /// value, but sharded mode forbids the knobs whose RNG draws are not
-  /// attributable to a single cell (latency_jitter, mobility).
+  /// minimum per-link latency floor; results are bit-identical for any
+  /// shards/threads value, including latency_jitter and mobility (both
+  /// draw from streams derived purely from stable identifiers, so no
+  /// global RNG ordering is involved).
   int shards = 1;
   /// Worker threads for the sharded engine; 0 = min(shards, hardware).
   /// Never affects results, only wall-clock.
@@ -131,5 +137,12 @@ struct ScenarioConfig {
 /// inverted hysteresis, ...). Returns an empty string when valid, else a
 /// human-readable description of the first problem.
 [[nodiscard]] std::string validate_scenario(const ScenarioConfig& config);
+
+/// Builds the latency model a scenario prescribes: LinkJitterLatency when
+/// latency_jitter > 0 (uniform in [latency - jitter, latency] from
+/// per-link streams), else FixedLatency. Both engines construct their
+/// model through this factory so delays match draw-for-draw.
+[[nodiscard]] std::unique_ptr<net::LatencyModel> make_scenario_latency(
+    const ScenarioConfig& config);
 
 }  // namespace dca::runner

@@ -20,10 +20,12 @@
 #include "net/message.hpp"
 #include "proto/allocator.hpp"
 #include "radio/noise.hpp"
+#include "runner/flag_timeline.hpp"
 #include "runner/node_factory.hpp"
 #include "sim/random.hpp"
 #include "sim/shard.hpp"
 #include "traffic/call.hpp"
+#include "traffic/mobility.hpp"
 
 namespace dca::runner {
 namespace {
@@ -31,6 +33,32 @@ namespace {
 using cell::CellId;
 using net::LinkId;
 using LinkKey = std::pair<CellId, CellId>;
+
+/// Conservative lookahead for the kernel: the minimum latency floor over
+/// the links that actually cross shards. Shard-internal links don't
+/// constrain the window (their deliveries never enter an outbox), so a
+/// partition that keeps the slow links internal earns a wider window than
+/// the global min_one_way(). Fault jitter only ever *adds* delay on top
+/// of the model's floor, so it never weakens the bound.
+sim::Duration cross_shard_lookahead(const net::LinkTable& links,
+                                    const net::LatencyModel& latency,
+                                    const std::vector<int>& partition) {
+  sim::Duration floor_min = 0;
+  bool any = false;
+  for (LinkId lid = 0; lid < links.n_links(); ++lid) {
+    const auto [from, to] = links.endpoints(lid);
+    if (partition[static_cast<std::size_t>(from)] ==
+        partition[static_cast<std::size_t>(to)]) {
+      continue;
+    }
+    const sim::Duration f = latency.link_floor(lid, from, to);
+    if (!any || f < floor_min) floor_min = f;
+    any = true;
+  }
+  // No cross-shard link at all (single shard, or a partition the grid
+  // cannot produce): any positive lookahead is safe; use the global floor.
+  return any ? floor_min : latency.min_one_way();
+}
 
 class ShardedWorld;
 
@@ -89,16 +117,6 @@ struct ActiveCall {
   CellId cellId = cell::kNoCell;
   cell::ChannelId channel = cell::kNoChannel;
   sim::SimTime ends = 0;
-};
-
-/// One (t, flags) step of a cell's is_borrowing/is_searching timeline
-/// (recorded after each event that changed them; used to reconstruct the
-/// paper's N_borrow / N_search neighbour samples without cross-shard
-/// reads).
-struct FlagChange {
-  sim::SimTime t = 0;
-  bool borrowing = false;
-  bool searching = false;
 };
 
 /// All run state owned by one shard. Only events executing on that shard
@@ -217,13 +235,15 @@ class ShardedWorld {
   void notify_reassigned(CellId cellId, cell::ChannelId from_ch,
                          cell::ChannelId to_ch);
   void end_call(std::uint64_t serial, CellId cellId);
+  void dispatch_to_node(const net::Message& msg);
+  void handoff_arrival(const net::Message& msg);
   void accumulate_usage(ShardState& st, sim::SimTime t);
   void trace_call_event(sim::TraceKind kind, CellId cellId, cell::ChannelId ch,
                         std::uint64_t serial, std::int64_t a = 0);
+  void trace_handoff(sim::TraceKind kind, CellId cellId, CellId peer,
+                     std::uint64_t serial, std::int64_t hop, sim::SimTime ends);
 
   [[nodiscard]] bool quiescent() const;
-  [[nodiscard]] std::pair<bool, bool> flags_at(CellId j, sim::SimTime t,
-                                               CellId closer) const;
 
   ScenarioConfig config_;
   Scheme scheme_;
@@ -237,6 +257,7 @@ class ShardedWorld {
   net::LinkTable links_;
   std::unique_ptr<net::LatencyModel> latency_;
   radio::NoiseField noise_;
+  std::vector<int> partition_;
   sim::ShardedKernel kernel_;
   std::vector<ShardState> states_;
   std::vector<std::unique_ptr<proto::AllocatorNode>> nodes_;
@@ -258,9 +279,9 @@ class ShardedWorld {
   std::vector<std::vector<traffic::CallId>> ids_by_cell_;
   std::vector<std::size_t> next_id_idx_;
 
-  // Flag timelines for deferred neighbour sampling.
-  std::vector<FlagChange> cur_flags_;
-  std::vector<std::vector<FlagChange>> timelines_;
+  // Flag timelines for deferred neighbour sampling (shared convention
+  // with the classic engine, see flag_timeline.hpp).
+  FlagTimelines flags_;
 };
 
 // -- ShardEnv forwarding ---------------------------------------------------
@@ -318,23 +339,22 @@ ShardedWorld::ShardedWorld(const ScenarioConfig& config, Scheme scheme,
                 : cell::ReusePlan::cluster(grid_, config.n_channels,
                                            config.cluster)),
       links_(grid_),
-      latency_(std::make_unique<net::FixedLatency>(config.latency)),
+      latency_(make_scenario_latency(config)),
       noise_(config.seed, config.radio_fade_prob, config.radio_fade_bucket),
-      kernel_(cell::make_partition(grid_, config.shards, config.partition),
-              config.shards, latency_->min_one_way(), config.threads),
+      partition_(cell::make_partition(grid_, config.shards, config.partition)),
+      kernel_(partition_, config.shards,
+              cross_shard_lookahead(links_, *latency_, partition_),
+              config.threads),
       states_(static_cast<std::size_t>(config.shards)) {
   if (!plan_.validate(grid_)) {
     std::fprintf(stderr, "ShardedWorld: reuse plan invalid for %dx%d grid\n",
                  config_.rows, config_.cols);
     std::abort();
   }
-  // The sharded-mode restrictions (validate_scenario): the knobs whose
-  // RNG draws cannot be attributed to a single cell.
-  if (config_.latency_jitter > 0 || config_.mean_dwell_s > 0.0 ||
-      config_.latency <= 0) {
+  if (config_.latency <= 0) {
     std::fprintf(stderr,
-                 "ShardedWorld: config violates sharded-mode restrictions "
-                 "(run validate_scenario first)\n");
+                 "ShardedWorld: latency must be positive (the per-link "
+                 "floors are the lookahead; run validate_scenario first)\n");
     std::abort();
   }
   for (int s = 0; s < config_.shards; ++s) {
@@ -365,8 +385,7 @@ ShardedWorld::ShardedWorld(const ScenarioConfig& config, Scheme scheme,
   }
   truth_.assign(n, cell::ChannelSet(config_.n_channels));
   cell_seq_.assign(n, 0);
-  cur_flags_.assign(n, FlagChange{});
-  timelines_.assign(n, {});
+  flags_.reset(n);
   next_id_idx_.assign(n, 0);
   ids_by_cell_.assign(n, {});
 
@@ -452,30 +471,8 @@ void ShardedWorld::schedule_delivery(LinkId lid, CellId from, CellId to,
 
 void ShardedWorld::flag_check(CellId owner) {
   const auto& node = *nodes_[static_cast<std::size_t>(owner)];
-  const bool b = node.is_borrowing();
-  const bool s = node.is_searching();
-  FlagChange& cur = cur_flags_[static_cast<std::size_t>(owner)];
-  if (b == cur.borrowing && s == cur.searching) return;
-  cur.borrowing = b;
-  cur.searching = s;
-  cur.t = now_of(owner);
-  timelines_[static_cast<std::size_t>(owner)].push_back(cur);
-}
-
-std::pair<bool, bool> ShardedWorld::flags_at(CellId j, sim::SimTime t,
-                                             CellId closer) const {
-  // Flags the legacy engine would have sampled from neighbour j during
-  // the close event at (t, closer): j's events at instant t execute
-  // before the close exactly when j < closer (cell is the first
-  // canonical tiebreak after time).
-  const sim::SimTime bound = j < closer ? t : t - 1;
-  const auto& tl = timelines_[static_cast<std::size_t>(j)];
-  auto it = std::upper_bound(
-      tl.begin(), tl.end(), bound,
-      [](sim::SimTime lhs, const FlagChange& fc) { return lhs < fc.t; });
-  if (it == tl.begin()) return {false, false};
-  --it;
-  return {it->borrowing, it->searching};
+  flags_.observe(owner, now_of(owner), node.is_borrowing(),
+                 node.is_searching());
 }
 
 // -- traffic ---------------------------------------------------------------
@@ -594,8 +591,23 @@ void ShardedWorld::net_send(int s, net::Message msg) {
   // request cell lives on this shard, else log for the merge step —
   // per-record message counts are order-independent, so deferred billing
   // is exact.
-  if (msg.serial == 0) {
+  if (msg.serial == 0 || msg.kind == net::MsgKind::kHandoff) {
+    // HANDOFF carries the *next* leg's serial, whose record does not open
+    // until the message lands — the legacy observer counts it as
+    // unattributable, so we must too.
     st.collector.on_message(msg);  // counts it as unattributable
+  } else if (traffic::mobility::hop_of(msg.serial) > 0) {
+    // Migrated leg: the record lives on whichever shard the handoff
+    // landed on, which is not computable from the serial alone. Exactly
+    // one collector ever opens a given serial (the landing cell's), so
+    // knows() routes the bill, and everything else goes to the merge-time
+    // foreign log — the record provably exists by then, because messages
+    // carrying a serial are only ever sent after its record opened.
+    if (st.collector.knows(msg.serial)) {
+      st.collector.bill(msg.serial, msg.kind);
+    } else {
+      st.foreign_bills.emplace_back(msg.serial, msg.kind);
+    }
   } else {
     assert(msg.serial <= serial_cell_.size());
     const CellId owner = serial_cell_[msg.serial - 1];
@@ -760,6 +772,18 @@ void ShardedWorld::deliver_to_node(const net::Message& msg) {
     st.held[static_cast<std::size_t>(msg.to)].push_back(msg);
     return;
   }
+  dispatch_to_node(msg);
+}
+
+void ShardedWorld::dispatch_to_node(const net::Message& msg) {
+  // HANDOFF is runner-level state migration, not protocol traffic: it is
+  // intercepted here (after the pause hold, mirroring the classic
+  // receiver hook) so allocator nodes and their Lamport clocks never see
+  // it.
+  if (msg.kind == net::MsgKind::kHandoff) {
+    handoff_arrival(msg);
+    return;
+  }
   nodes_[static_cast<std::size_t>(msg.to)]->on_message(msg);
 }
 
@@ -806,7 +830,7 @@ void ShardedWorld::schedule_pause_cycle(CellId c, sim::SimTime from_time) {
           const std::vector<net::Message> backlog = std::move(slot);
           slot.clear();
           for (const net::Message& m : backlog) {
-            nodes_[static_cast<std::size_t>(m.to)]->on_message(m);
+            dispatch_to_node(m);
           }
         }
       }
@@ -829,6 +853,22 @@ void ShardedWorld::trace_call_event(sim::TraceKind kind, CellId cellId,
   e.channel = static_cast<std::int32_t>(ch);
   e.serial = serial;
   e.a = a;
+  st.trace.push_back(e);
+}
+
+void ShardedWorld::trace_handoff(sim::TraceKind kind, CellId cellId,
+                                 CellId peer, std::uint64_t serial,
+                                 std::int64_t hop, sim::SimTime ends) {
+  if (!tracing_) return;
+  ShardState& st = state_of(cellId);
+  sim::TraceEvent e;
+  e.kind = kind;
+  e.t = now_of(cellId);
+  e.cell = static_cast<std::int32_t>(cellId);
+  e.peer = static_cast<std::int32_t>(peer);
+  e.serial = serial;
+  e.a = hop;
+  e.b = static_cast<std::int64_t>(ends);
   st.trace.push_back(e);
 }
 
@@ -881,7 +921,15 @@ void ShardedWorld::notify_acquired(CellId cellId, std::uint64_t serial,
   state.channel = ch;
   state.ends = t + pc.remaining;
   st.active[serial] = state;
-  (void)schedule_local(cellId, sim::kClassProgress, state.ends,
+  sim::SimTime next_event = state.ends;
+  if (config_.mean_dwell_s > 0.0) {
+    // Dwell is a pure function of (seed, serial) — the same draw the
+    // classic engine makes, on whichever shard hosts the call.
+    const sim::Duration dwell =
+        traffic::mobility::dwell(config_.seed, serial, config_.mean_dwell_s);
+    if (t + dwell < state.ends) next_event = t + dwell;
+  }
+  (void)schedule_local(cellId, sim::kClassProgress, next_event,
                        [this, serial, cellId]() { end_call(serial, cellId); });
 }
 
@@ -893,8 +941,47 @@ void ShardedWorld::end_call(std::uint64_t serial, CellId cellId) {
   st.active.erase(it);
   nodes_[static_cast<std::size_t>(state.cellId)]->release_channel(state.channel,
                                                                  serial);
-  // Mobility is excluded in sharded mode, so the call always completes
-  // here (the progress event is its end instant).
+
+  if (now_of(cellId) >= state.ends) return;  // call completed normally
+
+  // Handoff: the mobile moved to a random neighbouring cell mid-call. The
+  // call state (identity, absolute end time) rides a HANDOFF message over
+  // the ordinary network path, which is exactly what crosses shard
+  // boundaries through the double-buffered outboxes; the destination
+  // issues the fresh channel request when it lands.
+  const auto neigh = grid_.neighbors(state.cellId);
+  if (neigh.empty()) return;
+  const std::uint64_t hop = traffic::mobility::hop_of(serial) + 1;
+  const CellId dest = neigh[traffic::mobility::pick_neighbor(
+      config_.seed, serial, neigh.size())];
+  const std::uint64_t new_serial =
+      traffic::mobility::encode_serial(traffic::mobility::call_of(serial), hop);
+  trace_handoff(sim::TraceKind::kHandoffLeave, state.cellId, dest, new_serial,
+                static_cast<std::int64_t>(hop), state.ends);
+  net::Message msg;
+  msg.kind = net::MsgKind::kHandoff;
+  msg.from = state.cellId;
+  msg.to = dest;
+  msg.serial = new_serial;
+  msg.ts.count = static_cast<std::uint64_t>(state.ends);
+  net_send(kernel_.shard_of(state.cellId), std::move(msg));
+}
+
+void ShardedWorld::handoff_arrival(const net::Message& msg) {
+  ShardState& st = state_of(msg.to);
+  const sim::SimTime t = now_of(msg.to);
+  const auto ends = static_cast<sim::SimTime>(msg.ts.count);
+  const std::uint64_t hop = traffic::mobility::hop_of(msg.serial);
+  trace_handoff(sim::TraceKind::kHandoffRecv, msg.to, msg.from, msg.serial,
+                static_cast<std::int64_t>(hop), ends);
+  if (ends <= t) return;  // call expired while in transit
+  const auto call =
+      static_cast<traffic::CallId>(traffic::mobility::call_of(msg.serial));
+  st.pending[msg.serial] = PendingCall{call, ends - t, /*is_handoff=*/true};
+  st.collector.open(msg.serial, call, msg.to, t, /*is_handoff=*/true);
+  trace_call_event(sim::TraceKind::kRequest, msg.to, cell::kNoChannel,
+                   msg.serial);
+  nodes_[static_cast<std::size_t>(msg.to)]->request_channel(msg.serial);
 }
 
 void ShardedWorld::notify_blocked(CellId cellId, std::uint64_t serial,
@@ -1005,16 +1092,8 @@ RunResult ShardedWorld::result(sim::TraceRecorder* trace_out) {
   }
 
   // Reconstruct the deferred neighbour samples from the flag timelines
-  // (legacy samples every interference neighbour at the close instant for
-  // acquired and blocked records alike; the self-searching term — added
-  // for acquisitions only — was already sampled live on the owning shard).
-  for (metrics::CallRecord& rec : merged) {
-    for (const CellId j : grid_.interference(rec.cellId)) {
-      const auto [b, s] = flags_at(j, rec.t_decision, rec.cellId);
-      if (b) ++rec.borrowing_neighbors;
-      if (s) ++rec.searching_neighbors;
-    }
-  }
+  // (shared convention with the classic engine, see flag_timeline.hpp).
+  flags_.apply_neighbor_samples(grid_, merged);
 
   out.agg = metrics::aggregate_records(merged, latency_->max_one_way(),
                                        config_.warmup);

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "runner/node_factory.hpp"
+#include "traffic/mobility.hpp"
 
 namespace dca::runner {
 
@@ -22,20 +23,6 @@ std::string scheme_name(Scheme s) {
   return "?";
 }
 
-namespace {
-
-std::unique_ptr<net::LatencyModel> make_latency(const ScenarioConfig& c) {
-  if (c.latency_jitter > 0) {
-    const sim::Duration lo =
-        c.latency > c.latency_jitter ? c.latency - c.latency_jitter : 1;
-    return std::make_unique<net::JitterLatency>(
-        lo, c.latency, sim::RngStream::derive(c.seed, 0x1a7e11cull));
-  }
-  return std::make_unique<net::FixedLatency>(c.latency);
-}
-
-}  // namespace
-
 World::World(const ScenarioConfig& config, Scheme scheme,
              std::unique_ptr<net::LatencyModel> latency_override)
     : config_(config),
@@ -44,7 +31,6 @@ World::World(const ScenarioConfig& config, Scheme scheme,
       plan_(config.greedy_plan
                 ? cell::ReusePlan::greedy(grid_, config.n_channels)
                 : cell::ReusePlan::cluster(grid_, config.n_channels, config.cluster)),
-      mobility_rng_(sim::RngStream::derive(config.seed, 0xd3e11ull)),
       noise_(config.seed, config.radio_fade_prob, config.radio_fade_bucket) {
   // A broken reuse plan voids every guarantee downstream; fail fast even
   // in release builds (e.g. a torus whose dimensions don't fit the
@@ -61,10 +47,21 @@ World::World(const ScenarioConfig& config, Scheme scheme,
     std::abort();
   }
   net_ = std::make_unique<net::Network>(
-      sim_, latency_override ? std::move(latency_override) : make_latency(config_),
+      sim_,
+      latency_override ? std::move(latency_override)
+                       : make_scenario_latency(config_),
       &grid_);
   net_->set_receiver([this](const net::Message& msg) {
+    // HANDOFF is runner-level state migration, not protocol traffic: it is
+    // intercepted here so allocator nodes (and their Lamport clocks) never
+    // see it.
+    if (msg.kind == net::MsgKind::kHandoff) {
+      on_handoff_message(msg);
+      return;
+    }
+    current_cell_ = msg.to;
     nodes_[static_cast<std::size_t>(msg.to)]->on_message(msg);
+    flag_check(msg.to);
   });
   net_->set_observer([this](const net::Message& msg) { collector_.on_message(msg); });
   if (config_.fault.enabled()) {
@@ -81,6 +78,7 @@ World::World(const ScenarioConfig& config, Scheme scheme,
 
   const auto n = static_cast<std::size_t>(grid_.n_cells());
   truth_.assign(n, cell::ChannelSet(config_.n_channels));
+  flags_.reset(n);
   node_rng_.reserve(n);
   for (cell::CellId c = 0; c < grid_.n_cells(); ++c) {
     node_rng_.push_back(
@@ -98,11 +96,26 @@ World::World(const ScenarioConfig& config, Scheme scheme,
 World::~World() = default;
 
 void World::submit_call(const traffic::CallSpec& spec) {
-  const std::uint64_t serial = next_serial_++;
+  // Serial = encode(call id, hop 0): a pure function of the call, so the
+  // classic and sharded engines agree on it without any shared counter.
+  const std::uint64_t serial = traffic::mobility::encode_serial(spec.id, 0);
   pending_[serial] = PendingCall{spec.id, spec.holding, /*is_handoff=*/false};
   collector_.open(serial, spec.id, spec.cell, sim_.now(), /*is_handoff=*/false);
   trace_call_event(sim::TraceKind::kRequest, spec.cell, cell::kNoChannel, serial);
+  current_cell_ = spec.cell;
   nodes_[static_cast<std::size_t>(spec.cell)]->request_channel(serial);
+  flag_check(spec.cell);
+}
+
+void World::flag_check(cell::CellId c) {
+  const auto& node = *nodes_[static_cast<std::size_t>(c)];
+  flags_.observe(c, sim_.now(), node.is_borrowing(), node.is_searching());
+}
+
+void World::finalize_neighbor_samples() {
+  if (samples_final_) return;
+  samples_final_ = true;
+  flags_.apply_neighbor_samples(grid_, collector_.mutable_records());
 }
 
 void World::set_recorder(sim::TraceRecorder* rec) {
@@ -111,11 +124,20 @@ void World::set_recorder(sim::TraceRecorder* rec) {
 }
 
 sim::EventId World::schedule_in(sim::Duration delay, sim::TimerFn fn) {
-  // A TimerFn nests inside the event slab's EventFn as an ordinary inline
-  // callable — the timer path stays allocation-free end to end.
-  static_assert(sim::EventFn::fits_inline<sim::TimerFn>(),
-                "TimerFn must nest inline inside EventFn");
-  return sim_.schedule_in(delay, std::move(fn));
+  // A node timer can change the node's borrowing/searching flags, so the
+  // timer fires through a wrapper that records them afterwards. The
+  // wrapper (TimerFn plus owner bookkeeping) still nests inside the event
+  // slab's EventFn as an ordinary inline callable — the timer path stays
+  // allocation-free end to end.
+  const cell::CellId owner = current_cell_;
+  auto wrapped = [this, owner, f = std::move(fn)]() mutable {
+    current_cell_ = owner;
+    f();
+    if (owner != cell::kNoCell) flag_check(owner);
+  };
+  static_assert(sim::EventFn::fits_inline<decltype(wrapped)>(),
+                "wrapped TimerFn must nest inline inside EventFn");
+  return sim_.schedule_in(delay, std::move(wrapped));
 }
 
 void World::cancel_scheduled(sim::EventId id) { sim_.cancel(id); }
@@ -197,17 +219,13 @@ void World::notify_acquired(cell::CellId cellId, std::uint64_t serial,
   trace_call_event(sim::TraceKind::kAcquire, cellId, ch, serial,
                    static_cast<std::int64_t>(how));
 
-  // ---- environment samples for the paper's N_borrow / N_search.
-  int borrowing = 0;
-  int searching = 0;
-  for (const cell::CellId j : grid_.interference(cellId)) {
-    const auto& nb = *nodes_[static_cast<std::size_t>(j)];
-    if (nb.is_borrowing()) ++borrowing;
-    if (nb.is_searching()) ++searching;
-  }
-  if (nodes_[static_cast<std::size_t>(cellId)]->is_searching()) ++searching;
-
-  collector_.close(serial, sim_.now(), how, attempts, borrowing, searching);
+  // Neighbour N_borrow / N_search samples are reconstructed from the flag
+  // timelines at finalize time (shared convention with the sharded
+  // engine); only the self-searching term — legacy adds it for
+  // acquisitions only — is taken live.
+  const int searching_self =
+      nodes_[static_cast<std::size_t>(cellId)]->is_searching() ? 1 : 0;
+  collector_.close(serial, sim_.now(), how, attempts, 0, searching_self);
 
   const auto it = pending_.find(serial);
   assert(it != pending_.end());
@@ -226,8 +244,10 @@ void World::schedule_call_progress(std::uint64_t serial, ActiveCall state) {
   active_[serial] = state;
   sim::SimTime next_event = state.ends;
   if (config_.mean_dwell_s > 0.0) {
+    // Dwell is a pure function of (seed, serial): the sharded engine draws
+    // the same value on whichever shard hosts the call.
     const sim::Duration dwell =
-        sim::from_seconds(mobility_rng_.exponential_mean(config_.mean_dwell_s));
+        traffic::mobility::dwell(config_.seed, serial, config_.mean_dwell_s);
     if (sim_.now() + dwell < state.ends) next_event = sim_.now() + dwell;
   }
   sim_.schedule_at(next_event, [this, serial]() { end_or_handoff(serial); });
@@ -240,35 +260,74 @@ void World::end_or_handoff(std::uint64_t serial) {
   active_.erase(it);
 
   // Release in the current cell either way.
+  current_cell_ = state.cellId;
   nodes_[static_cast<std::size_t>(state.cellId)]->release_channel(state.channel,
                                                                   serial);
+  flag_check(state.cellId);
 
   if (sim_.now() >= state.ends) return;  // call completed normally
 
-  // Handoff: the mobile moved to a random neighbouring cell mid-call; it
-  // needs a fresh channel there, obtained with a new request.
+  // Handoff: the mobile moved to a random neighbouring cell mid-call. The
+  // call's state (identity, absolute end time) travels to the destination
+  // as a HANDOFF message over the ordinary network — which is what lets
+  // the sharded engine migrate calls across shard boundaries through its
+  // outboxes — and the destination issues the fresh channel request when
+  // the message lands.
   const auto neigh = grid_.neighbors(state.cellId);
   if (neigh.empty()) return;
-  const cell::CellId dest =
-      neigh[mobility_rng_.pick_index(neigh.size())];
-  const std::uint64_t new_serial = next_serial_++;
-  pending_[new_serial] =
-      PendingCall{state.call, state.ends - sim_.now(), /*is_handoff=*/true};
-  collector_.open(new_serial, state.call, dest, sim_.now(), /*is_handoff=*/true);
-  trace_call_event(sim::TraceKind::kRequest, dest, cell::kNoChannel, new_serial);
-  nodes_[static_cast<std::size_t>(dest)]->request_channel(new_serial);
+  const std::uint64_t hop = traffic::mobility::hop_of(serial) + 1;
+  const cell::CellId dest = neigh[traffic::mobility::pick_neighbor(
+      config_.seed, serial, neigh.size())];
+  const std::uint64_t new_serial =
+      traffic::mobility::encode_serial(traffic::mobility::call_of(serial), hop);
+  trace_handoff(sim::TraceKind::kHandoffLeave, state.cellId, dest, new_serial,
+                static_cast<std::int64_t>(hop), state.ends);
+  net::Message msg;
+  msg.kind = net::MsgKind::kHandoff;
+  msg.from = state.cellId;
+  msg.to = dest;
+  msg.serial = new_serial;
+  msg.ts.count = static_cast<std::uint64_t>(state.ends);
+  net_->send(msg);
+}
+
+void World::on_handoff_message(const net::Message& msg) {
+  const auto ends = static_cast<sim::SimTime>(msg.ts.count);
+  const std::uint64_t hop = traffic::mobility::hop_of(msg.serial);
+  trace_handoff(sim::TraceKind::kHandoffRecv, msg.to, msg.from, msg.serial,
+                static_cast<std::int64_t>(hop), ends);
+  if (ends <= sim_.now()) return;  // call expired while in transit
+  const auto call = static_cast<traffic::CallId>(
+      traffic::mobility::call_of(msg.serial));
+  pending_[msg.serial] =
+      PendingCall{call, ends - sim_.now(), /*is_handoff=*/true};
+  collector_.open(msg.serial, call, msg.to, sim_.now(), /*is_handoff=*/true);
+  trace_call_event(sim::TraceKind::kRequest, msg.to, cell::kNoChannel,
+                   msg.serial);
+  current_cell_ = msg.to;
+  nodes_[static_cast<std::size_t>(msg.to)]->request_channel(msg.serial);
+  flag_check(msg.to);
+}
+
+void World::trace_handoff(sim::TraceKind kind, cell::CellId cellId,
+                          cell::CellId peer, std::uint64_t serial,
+                          std::int64_t hop, sim::SimTime ends) {
+  if (recorder_ == nullptr) return;
+  sim::TraceEvent e;
+  e.kind = kind;
+  e.t = sim_.now();
+  e.cell = static_cast<std::int32_t>(cellId);
+  e.peer = static_cast<std::int32_t>(peer);
+  e.serial = serial;
+  e.a = hop;
+  e.b = static_cast<std::int64_t>(ends);
+  recorder_->emit(e);
 }
 
 void World::notify_blocked(cell::CellId cellId, std::uint64_t serial,
                            proto::Outcome why, int attempts) {
-  int borrowing = 0;
-  int searching = 0;
-  for (const cell::CellId j : grid_.interference(cellId)) {
-    const auto& nb = *nodes_[static_cast<std::size_t>(j)];
-    if (nb.is_borrowing()) ++borrowing;
-    if (nb.is_searching()) ++searching;
-  }
-  collector_.close(serial, sim_.now(), why, attempts, borrowing, searching);
+  // Neighbour samples are deferred to finalize_neighbor_samples().
+  collector_.close(serial, sim_.now(), why, attempts, 0, 0);
   pending_.erase(serial);
   trace_call_event(sim::TraceKind::kBlock, cellId, cell::kNoChannel, serial,
                    static_cast<std::int64_t>(why));

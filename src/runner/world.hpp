@@ -20,6 +20,7 @@
 #include "net/network.hpp"
 #include "proto/allocator.hpp"
 #include "radio/noise.hpp"
+#include "runner/flag_timeline.hpp"
 #include "runner/scenario.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -108,6 +109,12 @@ class World final : public proto::NodeEnv {
   /// the run duration; the integral freezes once usage stops changing).
   [[nodiscard]] double carried_erlangs(sim::SimTime horizon) const;
 
+  /// Fills every closed record's N_borrow / N_search neighbour samples
+  /// from the flag timelines (the shared deferred-sampling convention of
+  /// flag_timeline.hpp — identical to the sharded engine's merge step).
+  /// Call once after the run, before aggregating records; idempotent.
+  void finalize_neighbor_samples();
+
  private:
   struct ActiveCall {
     traffic::CallId call = 0;
@@ -122,11 +129,16 @@ class World final : public proto::NodeEnv {
   };
 
   void end_or_handoff(std::uint64_t serial);
+  void on_handoff_message(const net::Message& msg);
+  void flag_check(cell::CellId c);
   void schedule_call_progress(std::uint64_t serial, ActiveCall state);
   void schedule_pause_cycle(cell::CellId c);
   void trace_call_event(sim::TraceKind kind, cell::CellId cellId,
                         cell::ChannelId ch, std::uint64_t serial,
                         std::int64_t a = 0);
+  void trace_handoff(sim::TraceKind kind, cell::CellId cellId,
+                     cell::CellId peer, std::uint64_t serial, std::int64_t hop,
+                     sim::SimTime ends);
 
   ScenarioConfig config_;
   Scheme scheme_;
@@ -136,15 +148,20 @@ class World final : public proto::NodeEnv {
   std::unique_ptr<net::Network> net_;
   std::vector<std::unique_ptr<proto::AllocatorNode>> nodes_;
   std::vector<sim::RngStream> node_rng_;
-  sim::RngStream mobility_rng_;
   std::vector<sim::RngStream> pause_rng_;  // per-cell MSS pause timeline
   radio::NoiseField noise_;
   metrics::Collector collector_;
   sim::TraceRecorder* recorder_ = nullptr;
 
-  std::uint64_t next_serial_ = 1;
   std::unordered_map<std::uint64_t, PendingCall> pending_;  // serial -> in-flight
   std::unordered_map<std::uint64_t, ActiveCall> active_;    // serial -> holding
+
+  // Deferred N_borrow / N_search sampling (shared with the sharded
+  // engine): flag timelines recorded after every node-touching event,
+  // reconstructed into the records by finalize_neighbor_samples().
+  FlagTimelines flags_;
+  cell::CellId current_cell_ = cell::kNoCell;  // cell whose code is running
+  bool samples_final_ = false;
   std::vector<cell::ChannelSet> truth_;                     // ground-truth usage
   std::uint64_t violations_ = 0;
   std::uint64_t reassignments_ = 0;

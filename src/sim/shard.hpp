@@ -14,10 +14,13 @@
 // results for any shard count and any thread count.
 //
 // Conservative window: all cross-shard interactions are message deliveries
-// carrying at least the network's minimum one-way latency L (the lookahead).
-// A window spans [W, W + L); an event executing at t >= W can only create
-// cross-shard work at t + d >= W + L, i.e. strictly beyond the window, so
-// the shards never need to see each other's state mid-window. Cross-shard
+// carrying at least L, the minimum latency floor over the links that cross
+// shards (the lookahead — shard-internal links never enter an outbox, so
+// only the cross-shard link floors constrain the window; jittered links
+// contribute their deterministic lower bound, and fault jitter only adds
+// delay). A window spans [W, W + L); an event executing at t >= W can only
+// create cross-shard work at t + d >= W + L, i.e. strictly beyond the
+// window, so the shards never need to see each other's state mid-window. Cross-shard
 // events travel through per-(source, destination) outboxes that are merged
 // into the owning shard's queue at the window barrier; merge order is
 // irrelevant because the queue orders by canonical key.

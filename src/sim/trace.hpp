@@ -34,6 +34,8 @@ enum class TraceKind : std::uint8_t {
   kDup = 10,         // link duplicated a frame          (cell=from, peer=to, a=seq)
   kRetransmit = 11,  // transport retransmitted a frame  (cell=from, peer=to, a=seq, b=attempt)
   kRunEnd = 12,      // end of run (after drain)         (t only)
+  kHandoffLeave = 13, // mobile left its cell mid-call   (cell=old, peer=dest, serial=new, a=hop, b=ends)
+  kHandoffRecv = 14,  // handoff message arrived          (cell=dest, peer=old, serial, a=hop, b=ends)
 };
 
 [[nodiscard]] inline const char* trace_kind_name(TraceKind k) {
@@ -51,6 +53,8 @@ enum class TraceKind : std::uint8_t {
     case TraceKind::kDup: return "dup";
     case TraceKind::kRetransmit: return "retransmit";
     case TraceKind::kRunEnd: return "run_end";
+    case TraceKind::kHandoffLeave: return "handoff_leave";
+    case TraceKind::kHandoffRecv: return "handoff_recv";
   }
   return "?";
 }

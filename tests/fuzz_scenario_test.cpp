@@ -5,6 +5,8 @@
 // scenarios never construct.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "runner/experiment.hpp"
 #include "sim/random.hpp"
 #include "test_util.hpp"
@@ -61,6 +63,13 @@ RandomScenario draw(sim::RngStream& rng) {
   s.cfg.duration = sim::minutes(3);
   s.cfg.warmup = 0;
   s.cfg.seed = rng.uniform_int(1, 1 << 30);
+  // Engine: mostly classic, but a healthy share of sharded runs — now
+  // legal in combination with jitter and mobility drawn above.
+  if (rng.bernoulli(0.4)) {
+    const int max_shards = std::min(8, s.cfg.rows * s.cfg.cols);
+    s.cfg.shards = static_cast<int>(rng.uniform_int(2, max_shards));
+    s.cfg.threads = static_cast<int>(rng.uniform_int(0, 4));
+  }
   s.cfg.max_update_attempts = static_cast<int>(rng.uniform_int(1, 12));
   s.cfg.update_pick = static_cast<proto::ChannelPick>(rng.uniform_int(0, 2));
   // Adaptive thresholds scaled to the (smallest possible) primary pool;
@@ -108,6 +117,52 @@ TEST(FuzzScenario, RandomConfigurationsReplayDeterministically) {
     const RunResult b = runner::run_uniform(s.cfg, s.scheme, s.rho);
     EXPECT_EQ(a.executed_events, b.executed_events) << "trial " << trial;
     EXPECT_EQ(a.total_messages, b.total_messages) << "trial " << trial;
+  }
+}
+
+TEST(FuzzScenario, ShardedMatchesClassicOnRandomConfigurations) {
+  // Cross-engine equivalence under fuzzing: random scenarios — with
+  // jitter and mobility forced on frequently — must produce bit-identical
+  // results and traces on the classic and sharded engines.
+  sim::RngStream r2(0xEC1D3);
+  for (int trial = 0; trial < 12; ++trial) {
+    RandomScenario s = draw(r2);
+    if (r2.bernoulli(0.6)) s.cfg.latency_jitter = s.cfg.latency / 2;
+    if (r2.bernoulli(0.6)) s.cfg.mean_dwell_s = r2.uniform(20.0, 90.0);
+    SCOPED_TRACE(testing::Message()
+                 << "trial " << trial << " scheme "
+                 << runner::scheme_name(s.scheme) << " grid " << s.cfg.rows
+                 << "x" << s.cfg.cols << " jitter " << s.cfg.latency_jitter
+                 << " dwell " << s.cfg.mean_dwell_s << " seed " << s.cfg.seed);
+
+    runner::ScenarioConfig classic_cfg = s.cfg;
+    classic_cfg.shards = 1;
+    sim::TraceRecorder rec_classic;
+    const RunResult a = runner::run_uniform(classic_cfg, s.scheme, s.rho,
+                                            &rec_classic);
+
+    runner::ScenarioConfig sharded_cfg = s.cfg;
+    const int max_shards = std::min(8, sharded_cfg.rows * sharded_cfg.cols);
+    sharded_cfg.shards = static_cast<int>(r2.uniform_int(2, max_shards));
+    sharded_cfg.threads = static_cast<int>(r2.uniform_int(0, 4));
+    sim::TraceRecorder rec_sharded;
+    const RunResult b = runner::run_uniform(sharded_cfg, s.scheme, s.rho,
+                                            &rec_sharded);
+
+    EXPECT_EQ(a.executed_events, b.executed_events);
+    EXPECT_EQ(a.total_messages, b.total_messages);
+    EXPECT_EQ(a.offered_calls, b.offered_calls);
+    EXPECT_EQ(a.agg.offered, b.agg.offered);
+    EXPECT_EQ(a.agg.acquired, b.agg.acquired);
+    EXPECT_EQ(a.agg.handoff_offered, b.agg.handoff_offered);
+    EXPECT_EQ(a.agg.handoff_failures, b.agg.handoff_failures);
+    EXPECT_EQ(a.agg.mean_borrowing_neighbors, b.agg.mean_borrowing_neighbors);
+    EXPECT_EQ(a.agg.mean_searching_neighbors, b.agg.mean_searching_neighbors);
+    EXPECT_EQ(a.carried_erlangs, b.carried_erlangs);
+    EXPECT_EQ(a.violations, 0u);
+    EXPECT_EQ(b.violations, 0u);
+    EXPECT_EQ(rec_classic.events(), rec_sharded.events())
+        << "engine traces diverged at shards=" << sharded_cfg.shards;
   }
 }
 

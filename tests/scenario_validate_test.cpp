@@ -81,6 +81,42 @@ TEST(ValidateScenario, ParameterRangeChecks) {
   c = ScenarioConfig{};
   c.max_update_attempts = 0;
   EXPECT_NE(validate_scenario(c), "");
+  c = ScenarioConfig{};
+  c.latency_jitter = -1;
+  EXPECT_NE(validate_scenario(c).find("latency_jitter"), std::string::npos);
+  c = ScenarioConfig{};
+  c.mean_dwell_s = -0.5;
+  EXPECT_NE(validate_scenario(c).find("dwell"), std::string::npos);
+}
+
+TEST(ValidateScenario, ShardedEngineConstraints) {
+  ScenarioConfig c;
+  c.shards = 0;
+  EXPECT_NE(validate_scenario(c), "");
+  c = ScenarioConfig{};
+  c.shards = c.rows * c.cols + 1;
+  EXPECT_NE(validate_scenario(c).find("more shards than cells"),
+            std::string::npos);
+  // The lookahead comes from the per-link latency floors, so a zero
+  // latency has no conservative window to offer.
+  c = ScenarioConfig{};
+  c.shards = 4;
+  c.latency = 0;
+  EXPECT_NE(validate_scenario(c).find("latency > 0"), std::string::npos);
+
+  // Jitter and mobility are legal at any shard count: both draw from
+  // streams keyed by stable identifiers, not by execution order.
+  c = ScenarioConfig{};
+  c.shards = 4;
+  c.latency_jitter = sim::milliseconds(2);
+  EXPECT_EQ(validate_scenario(c), "");
+  c.mean_dwell_s = 45.0;
+  EXPECT_EQ(validate_scenario(c), "");
+  c.shards = 8;
+  c.threads = 4;
+  c.fault.drop_prob = 0.1;
+  c.request_timeout = sim::milliseconds(400);
+  EXPECT_EQ(validate_scenario(c), "");
 }
 
 }  // namespace
