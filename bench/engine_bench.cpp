@@ -64,6 +64,7 @@ const char* partition_name(dca::cell::Partition p) {
 
 struct Measurement {
   std::string scheme;
+  std::string policy;  // canonical describe(), params filled in
   int shards = 1;
   int threads = 1;
   std::string partition;
@@ -74,12 +75,14 @@ struct Measurement {
 };
 
 Measurement measure(const dca::runner::ScenarioConfig& cfg, Scheme scheme,
-                    const std::string& name, double rho) {
+                    const std::string& name, const std::string& policy_desc,
+                    double rho) {
   const auto t0 = std::chrono::steady_clock::now();
   const RunResult r = dca::runner::run_uniform(cfg, scheme, rho);
   const auto t1 = std::chrono::steady_clock::now();
   Measurement m;
   m.scheme = name;
+  m.policy = policy_desc;
   m.shards = cfg.shards;
   m.threads = cfg.threads;
   m.partition = partition_name(cfg.partition);
@@ -87,8 +90,9 @@ Measurement measure(const dca::runner::ScenarioConfig& cfg, Scheme scheme,
   m.events = r.executed_events;
   m.messages = r.total_messages;
   m.events_per_sec = m.wall_s > 0 ? static_cast<double>(m.events) / m.wall_s : 0;
-  std::printf("  %-14s shards=%d threads=%d partition=%-7s  %9.3f s  %12llu events  %12.0f ev/s\n",
-              name.c_str(), m.shards, m.threads, m.partition.c_str(), m.wall_s,
+  std::printf("  %-14s policy=%-9s shards=%d threads=%d partition=%-7s  %9.3f s  %12llu events  %12.0f ev/s\n",
+              name.c_str(), m.policy.c_str(), m.shards, m.threads,
+              m.partition.c_str(), m.wall_s,
               static_cast<unsigned long long>(m.events), m.events_per_sec);
   return m;
 }
@@ -272,6 +276,20 @@ int main(int argc, char** argv) {
   int shards_n = 4;
   double rho = 0.9;
   std::vector<std::string> scheme_filter;
+  std::vector<std::string> policy_filter;
+  const auto split_csv = [](const char* list_text,
+                            std::vector<std::string>& out) {
+    std::string list(list_text);
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      const std::size_t comma = list.find(',', pos);
+      const std::string name =
+          list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      if (!name.empty()) out.push_back(name);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--rho=", 6) == 0) {
@@ -281,26 +299,49 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (std::strncmp(arg, "--schemes=", 10) == 0) {
-      std::string list(arg + 10);
-      std::size_t pos = 0;
-      while (pos <= list.size()) {
-        const std::size_t comma = list.find(',', pos);
-        const std::string name =
-            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
-        if (!name.empty()) scheme_filter.push_back(name);
-        if (comma == std::string::npos) break;
-        pos = comma + 1;
-      }
+      split_csv(arg + 10, scheme_filter);
+    } else if (std::strncmp(arg, "--policies=", 11) == 0) {
+      split_csv(arg + 11, policy_filter);
     } else if (std::isdigit(static_cast<unsigned char>(arg[0]))) {
       shards_n = std::atoi(arg);  // legacy positional shard count
     } else {
       std::fprintf(stderr,
-                   "usage: engine_bench [shards] [--schemes=a,b] [--rho=X]\n"
-                   "  schemes: adaptive basic_search (default: both)\n");
+                   "usage: engine_bench [shards] [--schemes=a,b] "
+                   "[--policies=p,q] [--rho=X]\n"
+                   "  schemes: adaptive basic_search (default: both)\n"
+                   "  policies: registry specs, e.g. default or "
+                   "tuned-threshold(theta_low=3,theta_high=6)\n"
+                   "    (default: default only, so trajectory keys stay "
+                   "comparable run over run)\n");
       return 2;
     }
   }
   if (shards_n < 2) shards_n = 2;
+
+  // Resolve policy specs up front: reject typos before burning bench time,
+  // and record the canonical describe() string (defaults filled in).
+  if (policy_filter.empty()) policy_filter.push_back("default");
+  struct PolicyChoice {
+    dca::proto::PolicySpec spec;
+    std::string desc;
+  };
+  std::vector<PolicyChoice> policy_choices;
+  for (const std::string& text : policy_filter) {
+    PolicyChoice pc;
+    std::string perr;
+    if (!dca::proto::parse_policy_spec(text, pc.spec, perr)) {
+      std::fprintf(stderr, "engine_bench: %s\n", perr.c_str());
+      return 2;
+    }
+    const auto policy =
+        dca::proto::PolicyRegistry::instance().make(pc.spec, perr);
+    if (policy == nullptr) {
+      std::fprintf(stderr, "engine_bench: %s\n", perr.c_str());
+      return 2;
+    }
+    pc.desc = policy->describe();
+    policy_choices.push_back(std::move(pc));
+  }
 
   dca::benchutil::heading("engine throughput: classic vs sharded");
   const unsigned hw = std::thread::hardware_concurrency();
@@ -325,19 +366,23 @@ int main(int argc, char** argv) {
   std::vector<Measurement> results;
   for (const auto& s : kSchemes) {
     if (!scheme_selected(s.name)) continue;
-    dca::runner::ScenarioConfig c1 = bench_config();
-    c1.shards = 1;
-    results.push_back(measure(c1, s.scheme, s.name, rho));
+    for (const PolicyChoice& pc : policy_choices) {
+      dca::runner::ScenarioConfig c1 = bench_config();
+      c1.policy = pc.spec;
+      c1.shards = 1;
+      results.push_back(measure(c1, s.scheme, s.name, pc.desc, rho));
 
-    dca::runner::ScenarioConfig cn = bench_config();
-    cn.shards = shards_n;
-    cn.threads = 0;  // one worker per shard, capped by the hardware
-    results.push_back(measure(cn, s.scheme, s.name, rho));
+      dca::runner::ScenarioConfig cn = bench_config();
+      cn.policy = pc.spec;
+      cn.shards = shards_n;
+      cn.threads = 0;  // one worker per shard, capped by the hardware
+      results.push_back(measure(cn, s.scheme, s.name, pc.desc, rho));
 
-    const double base = results[results.size() - 2].events_per_sec;
-    const double par = results.back().events_per_sec;
-    std::printf("  %-14s speedup: %.2fx\n\n", s.name,
-                base > 0 ? par / base : 0.0);
+      const double base = results[results.size() - 2].events_per_sec;
+      const double par = results.back().events_per_sec;
+      std::printf("  %-14s speedup: %.2fx\n\n", s.name,
+                  base > 0 ? par / base : 0.0);
+    }
   }
   if (results.empty()) {
     std::fprintf(stderr, "engine_bench: --schemes matched nothing\n");
@@ -484,6 +529,8 @@ int main(int argc, char** argv) {
     w.begin_object();
     w.key("scheme");
     w.value(m.scheme);
+    w.key("policy");
+    w.value(m.policy);
     w.key("shards");
     w.value(m.shards);
     w.key("threads");

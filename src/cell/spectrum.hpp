@@ -97,6 +97,23 @@ class ChannelSet {
     }
   }
 
+  /// k-th smallest member (0-based), or kNoChannel when k >= size().
+  /// Zero-allocation counterpart of to_vector()[k]: a word scan with a
+  /// popcount skip, then a clear-lowest-bit select inside the word.
+  [[nodiscard]] ChannelId nth(int k) const noexcept {
+    if (k < 0) return kNoChannel;
+    for (int w = 0; w < kWords; ++w) {
+      std::uint64_t v = bits_[static_cast<std::size_t>(w)];
+      const int c = std::popcount(v);
+      if (k < c) {
+        while (k-- > 0) v &= v - 1;  // drop the k lowest set bits
+        return static_cast<ChannelId>(w * 64 + std::countr_zero(v));
+      }
+      k -= c;
+    }
+    return kNoChannel;
+  }
+
   /// Materializes the members in increasing order.
   [[nodiscard]] std::vector<ChannelId> to_vector() const {
     std::vector<ChannelId> out;

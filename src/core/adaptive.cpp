@@ -18,6 +18,13 @@ AdaptiveNode::AdaptiveNode(const proto::NodeContext& ctx, const AdaptiveParams& 
       params_(params),
       nfc_(params.window),
       borrowed_(ctx.plan->n_channels()) {
+  // Let the allocation policy rewrite the hysteresis pair before the
+  // invariants are enforced (tuned-threshold plugs in here); a policy
+  // returning a bad pair trips the same assertions as a bad config.
+  const auto th = policy().thresholds(
+      {params_.theta_low, params_.theta_high});
+  params_.theta_low = th.low;
+  params_.theta_high = th.high;
   params_.check();
   known_use_.assign(static_cast<std::size_t>(grid().n_cells()),
                     ChannelSet(spectrum_size()));

@@ -117,6 +117,9 @@ class AdaptiveNode final : public proto::AllocatorNode {
  protected:
   void start_request(std::uint64_t serial) override;
   void on_release(cell::ChannelId ch, std::uint64_t serial) override;
+  [[nodiscard]] int admission_free_count() const override {
+    return free_primary_count();
+  }
 
  private:
   enum class Phase : std::uint8_t {

@@ -75,6 +75,15 @@ class AdvancedSearchNode final : public AllocatorNode {
  protected:
   void start_request(std::uint64_t serial) override;
   void on_release(cell::ChannelId ch, std::uint64_t serial) override;
+  /// Instantly servable channels plus spectrum unallocated anywhere in the
+  /// region (obtainable by a step-1 allocation without a transfer).
+  [[nodiscard]] int admission_free_count() const override {
+    cell::ChannelSet avail = allocated_;
+    avail -= use_;
+    avail -= offered_;
+    avail |= region_allocated().complement();
+    return avail.size();
+  }
 
  private:
   struct Search {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "traffic/mobility.hpp"
+
 namespace dca::proto {
 
 std::string outcome_name(Outcome o) {
@@ -23,7 +25,8 @@ AllocatorNode::AllocatorNode(const NodeContext& ctx)
       grid_(ctx.grid),
       plan_(ctx.plan),
       env_(ctx.env),
-      resilience_(ctx.resilience) {
+      resilience_(ctx.resilience),
+      policy_(ctx.policy != nullptr ? ctx.policy : &AllocationPolicy::fallback()) {
   assert(grid_ != nullptr && plan_ != nullptr && env_ != nullptr);
   assert(grid_->valid(id_));
 }
@@ -34,6 +37,20 @@ void AllocatorNode::request_channel(std::uint64_t serial) {
     return;
   }
   busy_ = true;
+  begin_request(serial);
+}
+
+void AllocatorNode::begin_request(std::uint64_t serial) {
+  if (policy_->gates_admission()) {
+    // Mobility serials encode (call, hop); hop > 0 marks a handoff leg.
+    const RequestClass cls = traffic::mobility::hop_of(serial) > 0
+                                 ? RequestClass::kHandoff
+                                 : RequestClass::kNewCall;
+    if (!policy_->admit(cls, admission_free_count())) {
+      complete_blocked(serial, Outcome::kBlockedNoChannel, 0);
+      return;
+    }
+  }
   start_request(serial);
 }
 
@@ -67,7 +84,7 @@ void AllocatorNode::advance() {
   // Note: a synchronous completion chain recurses here; depth is bounded by
   // the queue length, which only builds while message exchanges are in
   // flight (local acquisitions never queue behind each other).
-  start_request(next);
+  begin_request(next);
 }
 
 void AllocatorNode::send_to_interference(net::Message msg) {

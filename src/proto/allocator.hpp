@@ -30,6 +30,7 @@
 #include "cell/spectrum.hpp"
 #include "net/message.hpp"
 #include "net/timestamp.hpp"
+#include "proto/policy.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/trace.hpp"
@@ -139,6 +140,10 @@ struct NodeContext {
   const cell::ReusePlan* plan = nullptr;
   NodeEnv* env = nullptr;
   Resilience resilience;
+  /// Shared allocation policy; nullptr falls back to
+  /// AllocationPolicy::fallback() (paper behaviour). Last member so the
+  /// many 4/5-element aggregate-init sites keep compiling unchanged.
+  const AllocationPolicy* policy = nullptr;
 };
 
 class AllocatorNode {
@@ -189,6 +194,16 @@ class AllocatorNode {
   /// complete_acquired() or complete_blocked() with the same serial.
   virtual void start_request(std::uint64_t serial) = 0;
 
+  /// The node's view of how many channels a fresh request could use right
+  /// now — the estimate the policy admission gate compares against. Only
+  /// consulted when policy().gates_admission() is true, so the default
+  /// (non-gating) policy costs nothing here. The base default is the
+  /// loosest sensible bound; schemes that track remote state override it
+  /// with their actual believed-free count.
+  [[nodiscard]] virtual int admission_free_count() const {
+    return spectrum_size() - use_.size();
+  }
+
   /// Scheme-specific release protocol (messaging); base handles Use_i and
   /// world notification before invoking this.
   virtual void on_release(cell::ChannelId ch, std::uint64_t serial) = 0;
@@ -207,6 +222,7 @@ class AllocatorNode {
   [[nodiscard]] NodeEnv& env() const noexcept { return *env_; }
   [[nodiscard]] const cell::HexGrid& grid() const noexcept { return *grid_; }
   [[nodiscard]] const cell::ReusePlan& plan() const noexcept { return *plan_; }
+  [[nodiscard]] const AllocationPolicy& policy() const noexcept { return *policy_; }
 
   /// Sends `msg` (with from/to filled in) to every cell in IN_i.
   void send_to_interference(net::Message msg);
@@ -256,12 +272,17 @@ class AllocatorNode {
 
  private:
   void advance();
+  /// Runs the policy admission gate, then start_request or an immediate
+  /// block. The single entry point for serving a request (fresh or
+  /// dequeued), so gated and ungated paths stay aligned across schemes.
+  void begin_request(std::uint64_t serial);
 
   cell::CellId id_;
   const cell::HexGrid* grid_;
   const cell::ReusePlan* plan_;
   NodeEnv* env_;
   Resilience resilience_;
+  const AllocationPolicy* policy_;
   bool busy_ = false;
   std::deque<std::uint64_t> queue_;
   sim::EventId timer_ = sim::kInvalidEventId;

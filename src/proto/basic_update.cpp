@@ -39,8 +39,8 @@ void BasicUpdateNode::try_attempt(std::uint64_t serial, int round) {
   // Default policy picks uniformly among believed-free channels: concurrent
   // requesters that deterministically picked the lowest id would collide
   // every round (the policy ablation bench quantifies this).
-  const cell::ChannelId r = pick_channel(freeSet, pick_, env().rng(id()),
-                                         pick_cursor_);
+  const cell::ChannelId r =
+      policy().pick(freeSet, pick_, env().rng(id()), pick_cursor_);
 
   Attempt a;
   a.serial = serial;

@@ -48,6 +48,12 @@ class BasicUpdateNode final : public AllocatorNode {
  protected:
   void start_request(std::uint64_t serial) override;
   void on_release(cell::ChannelId ch, std::uint64_t serial) override;
+  [[nodiscard]] int admission_free_count() const override {
+    cell::ChannelSet freeSet = cell::ChannelSet::all(spectrum_size());
+    freeSet -= use_;
+    freeSet -= interfered();
+    return freeSet.size();
+  }
 
  private:
   struct Attempt {

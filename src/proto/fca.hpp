@@ -21,6 +21,9 @@ class FcaNode final : public AllocatorNode {
  protected:
   void start_request(std::uint64_t serial) override;
   void on_release(cell::ChannelId ch, std::uint64_t serial) override;
+  [[nodiscard]] int admission_free_count() const override {
+    return (primary() - use_).size();
+  }
 };
 
 }  // namespace dca::proto

@@ -1,0 +1,25 @@
+// Registration manifest for built-in allocation policies.
+//
+// Each policy lives in one .cpp file in this directory that implements a
+// register_<policy>(PolicyRegistry&) function. Listing it here (and adding
+// the .cpp to src/proto/CMakeLists.txt) is the whole integration: the
+// registry calls every function below exactly once, on first use, so the
+// policy is available in every binary that links dca_proto regardless of
+// static-initializer link order.
+#pragma once
+
+namespace dca::proto {
+class PolicyRegistry;
+namespace policies {
+
+void register_tuned_threshold(PolicyRegistry& reg);
+void register_handoff_priority(PolicyRegistry& reg);
+
+/// Called once by PolicyRegistry::instance(); add new policies here.
+inline void register_builtin(PolicyRegistry& reg) {
+  register_tuned_threshold(reg);
+  register_handoff_priority(reg);
+}
+
+}  // namespace policies
+}  // namespace dca::proto

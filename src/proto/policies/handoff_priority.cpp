@@ -1,0 +1,65 @@
+// handoff-priority: classic guard-channel admission. New calls are only
+// admitted while the node believes more than `guard` channels are locally
+// free; handoff legs are always admitted. Dropping a call mid-conversation
+// is costlier than blocking a fresh one, so reserving a small headroom for
+// incoming handoffs trades new-call blocking for handoff success — the
+// priority-class scheme from the channel-borrowing literature in PAPERS.md.
+//
+//   policy = handoff-priority(guard=2)
+#include <memory>
+#include <string>
+
+#include "proto/policies/builtin.hpp"
+#include "proto/policy.hpp"
+
+namespace dca::proto::policies {
+namespace {
+
+class HandoffPriorityPolicy final : public AllocationPolicy {
+ public:
+  explicit HandoffPriorityPolicy(int guard) : guard_(guard) {}
+
+  [[nodiscard]] std::string name() const override { return "handoff-priority"; }
+
+  [[nodiscard]] std::string describe() const override {
+    return "handoff-priority(guard=" + std::to_string(guard_) + ")";
+  }
+
+  [[nodiscard]] bool gates_admission() const override { return true; }
+
+  [[nodiscard]] bool admit(RequestClass cls, int free_channels) const override {
+    if (cls == RequestClass::kHandoff) return true;
+    return free_channels > guard_;
+  }
+
+ private:
+  int guard_;
+};
+
+std::unique_ptr<AllocationPolicy> make(const PolicySpec& spec, std::string& error) {
+  for (const auto& [k, v] : spec.params) {
+    (void)v;
+    if (k != "guard") {
+      error = "policy 'handoff-priority': unknown parameter '" + k +
+              "' (takes guard)";
+      return nullptr;
+    }
+  }
+  const int guard = static_cast<int>(spec.get("guard", 2));
+  if (guard < 0) {
+    error = "policy 'handoff-priority': guard must be >= 0 (got " +
+            std::to_string(guard) + ")";
+    return nullptr;
+  }
+  return std::make_unique<HandoffPriorityPolicy>(guard);
+}
+
+}  // namespace
+
+void register_handoff_priority(PolicyRegistry& reg) {
+  reg.add("handoff-priority",
+          "guard-channel admission: block new calls when free <= guard (def 2); handoffs always admitted",
+          &make);
+}
+
+}  // namespace dca::proto::policies

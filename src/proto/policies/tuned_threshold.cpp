@@ -1,0 +1,75 @@
+// tuned-threshold: the adaptive scheme's hysteresis pair (θ_l, θ_h) as
+// policy parameters instead of compiled-in AdaptiveParams constants.
+//
+//   policy = tuned-threshold(theta_low=3, theta_high=6)
+//
+// Only the thresholds() hook is overridden: channel pick and admission
+// stay at paper behaviour, so for non-adaptive schemes this policy is
+// trace-identical to 'default'. The PAPERS.md ML-hybrid line (arXiv
+// 1309.7439) is the motivation — a learned policy produces exactly such a
+// pair per operating point; this is the seam it plugs into.
+#include <memory>
+#include <string>
+
+#include "proto/policies/builtin.hpp"
+#include "proto/policy.hpp"
+
+namespace dca::proto::policies {
+namespace {
+
+class TunedThresholdPolicy final : public AllocationPolicy {
+ public:
+  TunedThresholdPolicy(int low, int high) : low_(low), high_(high) {}
+
+  [[nodiscard]] std::string name() const override { return "tuned-threshold"; }
+
+  [[nodiscard]] std::string describe() const override {
+    return "tuned-threshold(theta_low=" + std::to_string(low_) +
+           ",theta_high=" + std::to_string(high_) + ")";
+  }
+
+  [[nodiscard]] Thresholds thresholds(Thresholds base) const override {
+    (void)base;
+    return Thresholds{low_, high_};
+  }
+
+ private:
+  int low_;
+  int high_;
+};
+
+std::unique_ptr<AllocationPolicy> make(const PolicySpec& spec, std::string& error) {
+  for (const auto& [k, v] : spec.params) {
+    (void)v;
+    if (k != "theta_low" && k != "theta_high") {
+      error = "policy 'tuned-threshold': unknown parameter '" + k +
+              "' (takes theta_low, theta_high)";
+      return nullptr;
+    }
+  }
+  const int low = static_cast<int>(spec.get("theta_low", 3));
+  const int high = static_cast<int>(spec.get("theta_high", 6));
+  // Same invariants AdaptiveParams::check() asserts — reject at parse
+  // time with a message instead of aborting at node construction.
+  if (low < 1) {
+    error = "policy 'tuned-threshold': theta_low must be >= 1 (got " +
+            std::to_string(low) + ")";
+    return nullptr;
+  }
+  if (high <= low) {
+    error = "policy 'tuned-threshold': theta_high must be > theta_low (got " +
+            std::to_string(high) + " <= " + std::to_string(low) + ")";
+    return nullptr;
+  }
+  return std::make_unique<TunedThresholdPolicy>(low, high);
+}
+
+}  // namespace
+
+void register_tuned_threshold(PolicyRegistry& reg) {
+  reg.add("tuned-threshold",
+          "adaptive hysteresis pair as parameters: theta_low (def 3), theta_high (def 6)",
+          &make);
+}
+
+}  // namespace dca::proto::policies

@@ -1,0 +1,200 @@
+#include "proto/policy.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "proto/policies/builtin.hpp"
+
+namespace dca::proto {
+namespace {
+
+// Formats a double the way scenario files write numbers: plain decimal,
+// no trailing zeros ("2" not "2.000000", "0.5" not "0.500000").
+std::string format_param(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// All pass-through hooks: the paper's behaviour, bit for bit.
+class DefaultPolicy final : public AllocationPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "default"; }
+};
+
+std::unique_ptr<AllocationPolicy> make_default(const PolicySpec& spec,
+                                               std::string& error) {
+  if (!spec.params.empty()) {
+    error = "policy 'default' takes no parameters";
+    return nullptr;
+  }
+  return std::make_unique<DefaultPolicy>();
+}
+
+}  // namespace
+
+double PolicySpec::get(const std::string& key, double fallback) const {
+  for (const auto& [k, v] : params)
+    if (k == key) return v;
+  return fallback;
+}
+
+bool PolicySpec::has(const std::string& key) const {
+  for (const auto& [k, v] : params) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::string PolicySpec::to_string() const {
+  if (params.empty()) return name;
+  std::string out = name + "(";
+  bool first = true;
+  for (const auto& [k, v] : params) {
+    if (!first) out += ',';
+    out += k + "=" + format_param(v);
+    first = false;
+  }
+  out += ')';
+  return out;
+}
+
+bool parse_policy_spec(const std::string& text, PolicySpec& out, std::string& error) {
+  PolicySpec spec;
+  const std::string body = trimmed(text);
+  if (body.empty()) {
+    error = "empty policy spec";
+    return false;
+  }
+  const std::size_t open = body.find('(');
+  if (open == std::string::npos) {
+    spec.name = body;
+  } else {
+    if (body.back() != ')') {
+      error = "policy spec '" + body + "': missing ')'";
+      return false;
+    }
+    spec.name = trimmed(body.substr(0, open));
+    if (spec.name.empty()) {
+      error = "policy spec '" + body + "': missing name before '('";
+      return false;
+    }
+    // Split "k=v,k2=v2" on commas; each piece must be key=number.
+    const std::string args = body.substr(open + 1, body.size() - open - 2);
+    std::size_t pos = 0;
+    while (pos <= args.size() && !trimmed(args).empty()) {
+      std::size_t comma = args.find(',', pos);
+      if (comma == std::string::npos) comma = args.size();
+      const std::string piece = trimmed(args.substr(pos, comma - pos));
+      if (piece.empty()) {
+        error = "policy spec '" + body + "': empty parameter";
+        return false;
+      }
+      const std::size_t eq = piece.find('=');
+      if (eq == std::string::npos) {
+        error = "policy spec '" + body + "': parameter '" + piece +
+                "' is not key=value";
+        return false;
+      }
+      const std::string key = trimmed(piece.substr(0, eq));
+      const std::string valText = trimmed(piece.substr(eq + 1));
+      if (key.empty() || valText.empty()) {
+        error = "policy spec '" + body + "': parameter '" + piece +
+                "' is not key=value";
+        return false;
+      }
+      char* end = nullptr;
+      const double val = std::strtod(valText.c_str(), &end);
+      if (end == valText.c_str() || *end != '\0') {
+        error = "policy spec '" + body + "': value '" + valText +
+                "' of '" + key + "' is not a number";
+        return false;
+      }
+      for (const auto& [k, v] : spec.params) {
+        (void)v;
+        if (k == key) {
+          error = "policy spec '" + body + "': duplicate parameter '" + key + "'";
+          return false;
+        }
+      }
+      spec.params.emplace_back(key, val);
+      if (comma >= args.size()) break;
+      pos = comma + 1;
+    }
+  }
+  out = std::move(spec);
+  return true;
+}
+
+const AllocationPolicy& AllocationPolicy::fallback() {
+  static const DefaultPolicy instance;
+  return instance;
+}
+
+PolicyRegistry& PolicyRegistry::instance() {
+  // Built-ins are registered here, by explicit call, rather than via
+  // self-registering static initializers: policy objects live in a static
+  // library, and the linker drops unreferenced archive members together
+  // with their initializers. The manifest in policies/builtin.hpp names
+  // every registration function, so adding a policy stays a one-file
+  // change plus one manifest line.
+  static PolicyRegistry* reg = [] {
+    auto* r = new PolicyRegistry();
+    r->add("default", "paper behaviour: configured pick, configured thresholds, no gate",
+           &make_default);
+    policies::register_builtin(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+bool PolicyRegistry::add(const std::string& name, const std::string& summary,
+                         Factory factory) {
+  for (const auto& e : entries_)
+    if (e.name == name) return false;
+  entries_.push_back(Entry{name, summary, factory});
+  return true;
+}
+
+bool PolicyRegistry::known(const std::string& name) const {
+  for (const auto& e : entries_)
+    if (e.name == name) return true;
+  return false;
+}
+
+std::string PolicyRegistry::summary(const std::string& name) const {
+  for (const auto& e : entries_)
+    if (e.name == name) return e.summary;
+  return "";
+}
+
+std::vector<std::string> PolicyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::unique_ptr<AllocationPolicy> PolicyRegistry::make(const PolicySpec& spec,
+                                                       std::string& error) const {
+  for (const auto& e : entries_) {
+    if (e.name != spec.name) continue;
+    return e.factory(spec, error);
+  }
+  error = "unknown policy '" + spec.name + "' (known:";
+  for (const auto& e : entries_) error += " " + e.name;
+  error += ")";
+  return nullptr;
+}
+
+}  // namespace dca::proto

@@ -123,6 +123,14 @@ bool apply_scenario_text(const std::string& text, ScenarioConfig& config,
       } else {
         return fail("random|lowest|round-robin");
       }
+    } else if (key == "policy") {
+      proto::PolicySpec spec;
+      std::string specError;
+      if (!proto::parse_policy_spec(val, spec, specError)) {
+        error = "line " + std::to_string(lineno) + ": " + specError;
+        return false;
+      }
+      config.policy = std::move(spec);
     } else if (key == "theta_low") {
       if (!parse_int(val, i)) return fail("int");
       config.adaptive.theta_low = static_cast<int>(i);
@@ -220,6 +228,7 @@ std::string scenario_to_text(const ScenarioConfig& c) {
   os << "seed = " << c.seed << "\n";
   os << "max_update_attempts = " << c.max_update_attempts << "\n";
   os << "update_pick = " << proto::channel_pick_name(c.update_pick) << "\n";
+  os << "policy = " << c.policy.to_string() << "\n";
   os << "theta_low = " << c.adaptive.theta_low << "\n";
   os << "theta_high = " << c.adaptive.theta_high << "\n";
   os << "alpha = " << c.adaptive.alpha << "\n";

@@ -1,5 +1,8 @@
 #include "runner/node_factory.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "core/adaptive.hpp"
 #include "proto/advanced_search.hpp"
 #include "proto/advanced_update.hpp"
@@ -30,6 +33,17 @@ std::unique_ptr<proto::AllocatorNode> make_node(const proto::NodeContext& ctx,
       return std::make_unique<core::AdaptiveNode>(ctx, config.adaptive);
   }
   return nullptr;
+}
+
+std::unique_ptr<const proto::AllocationPolicy> make_policy(
+    const ScenarioConfig& config) {
+  std::string error;
+  auto policy = proto::PolicyRegistry::instance().make(config.policy, error);
+  if (policy == nullptr) {
+    std::fprintf(stderr, "fatal: %s\n", error.c_str());
+    std::abort();
+  }
+  return policy;
 }
 
 }  // namespace dca::runner

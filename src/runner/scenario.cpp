@@ -62,6 +62,14 @@ std::string validate_scenario(const ScenarioConfig& c) {
   }
   if (c.radio_fade_prob < 0.0 || c.radio_fade_prob >= 1.0)
     return "radio_fade_prob must be in [0, 1)";
+  {
+    // Registry-level check: unknown policy names, unknown parameters, and
+    // out-of-range values are all rejected here, with the factory's own
+    // message, instead of aborting at world construction.
+    std::string policyError;
+    auto policy = proto::PolicyRegistry::instance().make(c.policy, policyError);
+    if (policy == nullptr) return policyError;
+  }
   if (c.radio_fade_prob > 0.0 && c.radio_fade_bucket <= 0)
     return "radio_fade_bucket must be positive when fading is enabled";
 

@@ -97,6 +97,11 @@ struct ScenarioConfig {
   // Channel-selection policy of the basic update scheme.
   proto::ChannelPick update_pick = proto::ChannelPick::kRandom;
 
+  /// Allocation policy (registry name + parameters) shared by every node.
+  /// "default" reproduces the paper's hard-wired behaviour bit for bit;
+  /// see PolicyRegistry for the registered alternatives.
+  proto::PolicySpec policy;
+
   // Adaptive-scheme tuning (Section 3.5).
   core::AdaptiveParams adaptive;
 

@@ -260,6 +260,8 @@ class ShardedWorld {
   std::vector<int> partition_;
   sim::ShardedKernel kernel_;
   std::vector<ShardState> states_;
+  // Shared by every node; must outlive nodes_ (declared before it).
+  std::unique_ptr<const proto::AllocationPolicy> policy_;
   std::vector<std::unique_ptr<proto::AllocatorNode>> nodes_;
   std::vector<sim::RngStream> node_rng_;
   std::vector<sim::RngStream> pause_rng_;
@@ -401,11 +403,13 @@ ShardedWorld::ShardedWorld(const ScenarioConfig& config, Scheme scheme,
         config_.seed, static_cast<std::uint64_t>(c + grid_.n_cells())));
   }
 
+  policy_ = make_policy(config_);
   nodes_.reserve(n);
   for (CellId c = 0; c < grid_.n_cells(); ++c) {
     ShardEnv& env = states_[static_cast<std::size_t>(kernel_.shard_of(c))].env;
     proto::NodeContext ctx{c, &grid_, &plan_, &env,
-                           proto::Resilience{config_.request_timeout}};
+                           proto::Resilience{config_.request_timeout},
+                           policy_.get()};
     nodes_.push_back(make_node(ctx, scheme_, config_));
   }
 

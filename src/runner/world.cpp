@@ -85,10 +85,12 @@ World::World(const ScenarioConfig& config, Scheme scheme,
         sim::RngStream::derive(config_.seed, 0x90de000ull + static_cast<std::uint64_t>(c)));
   }
 
+  policy_ = make_policy(config_);
   nodes_.reserve(n);
   for (cell::CellId c = 0; c < grid_.n_cells(); ++c) {
     proto::NodeContext ctx{c, &grid_, &plan_, this,
-                           proto::Resilience{config_.request_timeout}};
+                           proto::Resilience{config_.request_timeout},
+                           policy_.get()};
     nodes_.push_back(make_node(ctx, scheme_, config_));
   }
 }

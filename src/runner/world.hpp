@@ -146,6 +146,8 @@ class World final : public proto::NodeEnv {
   cell::HexGrid grid_;
   cell::ReusePlan plan_;
   std::unique_ptr<net::Network> net_;
+  // Shared by every node; must outlive nodes_ (declared before it).
+  std::unique_ptr<const proto::AllocationPolicy> policy_;
   std::vector<std::unique_ptr<proto::AllocatorNode>> nodes_;
   std::vector<sim::RngStream> node_rng_;
   std::vector<sim::RngStream> pause_rng_;  // per-cell MSS pause timeline

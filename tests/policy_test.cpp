@@ -1,0 +1,288 @@
+// The allocation-policy seam: spec parsing, the static registry, the two
+// built-in proof policies, the zero-alloc nth-set-bit channel pick, and
+// scenario-validation rejection of unresolvable specs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cell/spectrum.hpp"
+#include "proto/policy.hpp"
+#include "runner/config_file.hpp"
+#include "runner/scenario.hpp"
+#include "sim/random.hpp"
+
+namespace dca {
+namespace {
+
+using proto::AllocationPolicy;
+using proto::PolicyRegistry;
+using proto::PolicySpec;
+using proto::RequestClass;
+
+// -- ChannelSet::nth (the kRandom hot-path select) --------------------------
+
+TEST(ChannelSetNth, MatchesToVectorOnEveryIndex) {
+  cell::ChannelSet s(200);
+  for (const cell::ChannelId c : {0, 1, 7, 63, 64, 65, 127, 128, 140, 199})
+    s.insert(c);
+  const auto members = s.to_vector();
+  ASSERT_EQ(static_cast<int>(members.size()), s.size());
+  for (std::size_t k = 0; k < members.size(); ++k)
+    EXPECT_EQ(s.nth(static_cast<int>(k)), members[k]) << "k=" << k;
+}
+
+TEST(ChannelSetNth, OutOfRangeIsNoChannel) {
+  cell::ChannelSet s(64);
+  EXPECT_EQ(s.nth(0), cell::kNoChannel);  // empty set
+  s.insert(5);
+  s.insert(40);
+  EXPECT_EQ(s.nth(2), cell::kNoChannel);
+  EXPECT_EQ(s.nth(-1), cell::kNoChannel);
+  EXPECT_EQ(s.nth(1000), cell::kNoChannel);
+}
+
+TEST(ChannelSetNth, DenseSetFullSweep) {
+  const cell::ChannelSet s = cell::ChannelSet::all(130);
+  for (int k = 0; k < 130; ++k) EXPECT_EQ(s.nth(k), k);
+  EXPECT_EQ(s.nth(130), cell::kNoChannel);
+}
+
+// The refactored kRandom pick must draw pick_index(size()) — the exact
+// draw the old to_vector()[pick_index(size())] path made — so fixed-seed
+// trajectories are unchanged.
+TEST(ChannelSetNth, RandomPickMatchesMaterializedEquivalent) {
+  cell::ChannelSet s(300);
+  for (cell::ChannelId c = 2; c < 300; c += 7) s.insert(c);
+  auto rng_a = sim::RngStream::derive(99, 1);
+  auto rng_b = sim::RngStream::derive(99, 1);
+  cell::ChannelId cursor = cell::kNoChannel;
+  for (int i = 0; i < 500; ++i) {
+    const cell::ChannelId picked = proto::pick_channel(
+        s, proto::ChannelPick::kRandom, rng_a, cursor);
+    const auto members = s.to_vector();
+    EXPECT_EQ(picked, members[rng_b.pick_index(members.size())]);
+  }
+}
+
+// -- PolicySpec parsing ------------------------------------------------------
+
+TEST(PolicySpec, ParsesBareName) {
+  PolicySpec spec;
+  std::string err;
+  ASSERT_TRUE(proto::parse_policy_spec("default", spec, err)) << err;
+  EXPECT_EQ(spec.name, "default");
+  EXPECT_TRUE(spec.params.empty());
+  EXPECT_TRUE(spec.is_default());
+}
+
+TEST(PolicySpec, ParsesParameters) {
+  PolicySpec spec;
+  std::string err;
+  ASSERT_TRUE(proto::parse_policy_spec(
+      " tuned-threshold ( theta_low = 3 , theta_high = 6.5 ) ", spec, err))
+      << err;
+  EXPECT_EQ(spec.name, "tuned-threshold");
+  ASSERT_EQ(spec.params.size(), 2u);
+  EXPECT_EQ(spec.get("theta_low", -1), 3.0);
+  EXPECT_EQ(spec.get("theta_high", -1), 6.5);
+  EXPECT_EQ(spec.get("absent", -1), -1.0);
+  EXPECT_TRUE(spec.has("theta_low"));
+  EXPECT_FALSE(spec.has("absent"));
+  EXPECT_FALSE(spec.is_default());
+}
+
+TEST(PolicySpec, ToStringRoundTrips) {
+  for (const char* text :
+       {"default", "handoff-priority(guard=2)",
+        "tuned-threshold(theta_low=3,theta_high=6.5)"}) {
+    PolicySpec spec;
+    std::string err;
+    ASSERT_TRUE(proto::parse_policy_spec(text, spec, err)) << err;
+    EXPECT_EQ(spec.to_string(), text);
+    PolicySpec back;
+    ASSERT_TRUE(proto::parse_policy_spec(spec.to_string(), back, err)) << err;
+    EXPECT_EQ(back.name, spec.name);
+    EXPECT_EQ(back.params, spec.params);
+  }
+}
+
+TEST(PolicySpec, RejectsSyntaxErrors) {
+  PolicySpec spec;
+  std::string err;
+  EXPECT_FALSE(proto::parse_policy_spec("", spec, err));
+  EXPECT_FALSE(proto::parse_policy_spec("   ", spec, err));
+  EXPECT_FALSE(proto::parse_policy_spec("p(k=1", spec, err));   // missing )
+  EXPECT_FALSE(proto::parse_policy_spec("(k=1)", spec, err));   // no name
+  EXPECT_FALSE(proto::parse_policy_spec("p(k)", spec, err));    // no =
+  EXPECT_FALSE(proto::parse_policy_spec("p(k=x)", spec, err));  // not a number
+  EXPECT_FALSE(proto::parse_policy_spec("p(k=1,)", spec, err)); // empty param
+  EXPECT_FALSE(proto::parse_policy_spec("p(k=1,k=2)", spec, err));  // duplicate
+  EXPECT_FALSE(err.empty());
+}
+
+// -- registry ---------------------------------------------------------------
+
+TEST(PolicyRegistry, BuiltinsAreRegistered) {
+  auto& reg = PolicyRegistry::instance();
+  EXPECT_TRUE(reg.known("default"));
+  EXPECT_TRUE(reg.known("tuned-threshold"));
+  EXPECT_TRUE(reg.known("handoff-priority"));
+  EXPECT_FALSE(reg.known("no-such-policy"));
+  const auto names = reg.names();
+  ASSERT_GE(names.size(), 3u);
+  EXPECT_EQ(names.front(), "default");  // registration order, default first
+  EXPECT_FALSE(reg.summary("default").empty());
+  EXPECT_EQ(reg.summary("no-such-policy"), "");
+}
+
+TEST(PolicyRegistry, DuplicateRegistrationIsRejected) {
+  auto& reg = PolicyRegistry::instance();
+  EXPECT_FALSE(reg.add("default", "imposter", nullptr));
+}
+
+TEST(PolicyRegistry, UnknownNameFailsWithKnownList) {
+  std::string err;
+  PolicySpec spec;
+  spec.name = "no-such-policy";
+  EXPECT_EQ(PolicyRegistry::instance().make(spec, err), nullptr);
+  EXPECT_NE(err.find("unknown policy"), std::string::npos) << err;
+  EXPECT_NE(err.find("tuned-threshold"), std::string::npos) << err;
+}
+
+TEST(PolicyRegistry, FactoriesValidateParameters) {
+  auto& reg = PolicyRegistry::instance();
+  std::string err;
+  PolicySpec spec;
+
+  spec.name = "default";
+  spec.params = {{"bogus", 1.0}};
+  EXPECT_EQ(reg.make(spec, err), nullptr);
+
+  spec.name = "tuned-threshold";
+  spec.params = {{"bogus", 1.0}};
+  EXPECT_EQ(reg.make(spec, err), nullptr) << "unknown parameter";
+  spec.params = {{"theta_low", 0.0}};
+  EXPECT_EQ(reg.make(spec, err), nullptr) << "theta_low < 1";
+  spec.params = {{"theta_low", 4.0}, {"theta_high", 4.0}};
+  EXPECT_EQ(reg.make(spec, err), nullptr) << "inverted hysteresis";
+
+  spec.name = "handoff-priority";
+  spec.params = {{"guard", -1.0}};
+  EXPECT_EQ(reg.make(spec, err), nullptr) << "negative guard";
+  spec.params = {{"margin", 2.0}};
+  EXPECT_EQ(reg.make(spec, err), nullptr) << "unknown parameter";
+}
+
+// -- the built-in policies' hook behaviour ----------------------------------
+
+TEST(Policies, DefaultIsFullPassThrough) {
+  const AllocationPolicy& p = AllocationPolicy::fallback();
+  EXPECT_EQ(p.name(), "default");
+  EXPECT_FALSE(p.gates_admission());
+  EXPECT_TRUE(p.admit(RequestClass::kNewCall, 0));
+  const auto th = p.thresholds({2, 4});
+  EXPECT_EQ(th.low, 2);
+  EXPECT_EQ(th.high, 4);
+
+  // pick() must dispatch to the free pick_channel with identical draws.
+  cell::ChannelSet s(64);
+  s.insert(3);
+  s.insert(17);
+  s.insert(40);
+  auto rng_a = sim::RngStream::derive(5, 5);
+  auto rng_b = sim::RngStream::derive(5, 5);
+  cell::ChannelId cur_a = cell::kNoChannel, cur_b = cell::kNoChannel;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(p.pick(s, proto::ChannelPick::kRandom, rng_a, cur_a),
+              proto::pick_channel(s, proto::ChannelPick::kRandom, rng_b, cur_b));
+  }
+}
+
+TEST(Policies, TunedThresholdOverridesHysteresisOnly) {
+  std::string err;
+  PolicySpec spec;
+  ASSERT_TRUE(proto::parse_policy_spec(
+      "tuned-threshold(theta_low=3,theta_high=6)", spec, err));
+  const auto p = PolicyRegistry::instance().make(spec, err);
+  ASSERT_NE(p, nullptr) << err;
+  EXPECT_EQ(p->name(), "tuned-threshold");
+  EXPECT_EQ(p->describe(), "tuned-threshold(theta_low=3,theta_high=6)");
+  const auto th = p->thresholds({2, 4});
+  EXPECT_EQ(th.low, 3);
+  EXPECT_EQ(th.high, 6);
+  EXPECT_FALSE(p->gates_admission());
+}
+
+TEST(Policies, TunedThresholdHasDocumentedDefaults) {
+  std::string err;
+  PolicySpec spec;
+  spec.name = "tuned-threshold";
+  const auto p = PolicyRegistry::instance().make(spec, err);
+  ASSERT_NE(p, nullptr) << err;
+  const auto th = p->thresholds({2, 4});
+  EXPECT_EQ(th.low, 3);
+  EXPECT_EQ(th.high, 6);
+}
+
+TEST(Policies, HandoffPriorityGuardsNewCallsOnly) {
+  std::string err;
+  PolicySpec spec;
+  ASSERT_TRUE(proto::parse_policy_spec("handoff-priority(guard=2)", spec, err));
+  const auto p = PolicyRegistry::instance().make(spec, err);
+  ASSERT_NE(p, nullptr) << err;
+  EXPECT_TRUE(p->gates_admission());
+  EXPECT_EQ(p->describe(), "handoff-priority(guard=2)");
+  // New calls need free > guard; handoffs are always admitted.
+  EXPECT_FALSE(p->admit(RequestClass::kNewCall, 0));
+  EXPECT_FALSE(p->admit(RequestClass::kNewCall, 2));
+  EXPECT_TRUE(p->admit(RequestClass::kNewCall, 3));
+  EXPECT_TRUE(p->admit(RequestClass::kHandoff, 0));
+  EXPECT_TRUE(p->admit(RequestClass::kHandoff, 2));
+  // Thresholds pass through untouched.
+  const auto th = p->thresholds({2, 4});
+  EXPECT_EQ(th.low, 2);
+  EXPECT_EQ(th.high, 4);
+}
+
+// -- scenario validation + config round-trip --------------------------------
+
+TEST(PolicyScenario, ValidationRejectsUnknownPolicy) {
+  runner::ScenarioConfig cfg;
+  cfg.policy.name = "no-such-policy";
+  const std::string problem = runner::validate_scenario(cfg);
+  EXPECT_NE(problem.find("unknown policy"), std::string::npos) << problem;
+}
+
+TEST(PolicyScenario, ValidationRejectsBadParameters) {
+  runner::ScenarioConfig cfg;
+  cfg.policy.name = "tuned-threshold";
+  cfg.policy.params = {{"theta_low", 5.0}, {"theta_high", 2.0}};
+  EXPECT_FALSE(runner::validate_scenario(cfg).empty());
+
+  cfg.policy.params = {{"theta_low", 3.0}, {"theta_high", 6.0}};
+  EXPECT_TRUE(runner::validate_scenario(cfg).empty());
+}
+
+TEST(PolicyScenario, ConfigFileRoundTripsPolicySpec) {
+  runner::ScenarioConfig cfg;
+  std::string err;
+  ASSERT_TRUE(proto::parse_policy_spec("handoff-priority(guard=3)", cfg.policy,
+                                       err));
+  const std::string text = runner::scenario_to_text(cfg);
+  EXPECT_NE(text.find("policy = handoff-priority(guard=3)"), std::string::npos)
+      << text;
+  runner::ScenarioConfig back;
+  ASSERT_TRUE(runner::apply_scenario_text(text, back, err)) << err;
+  EXPECT_EQ(back.policy.name, cfg.policy.name);
+  EXPECT_EQ(back.policy.params, cfg.policy.params);
+}
+
+TEST(PolicyScenario, ConfigFileRejectsMalformedPolicyLine) {
+  runner::ScenarioConfig cfg;
+  std::string err;
+  EXPECT_FALSE(runner::apply_scenario_text("policy = broken(oops\n", cfg, err));
+  EXPECT_NE(err.find("missing ')'"), std::string::npos) << err;
+}
+
+}  // namespace
+}  // namespace dca

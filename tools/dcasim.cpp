@@ -70,6 +70,8 @@ int main(int argc, char** argv) {
       .add_double("window-s", 30.0, "adaptive: NFC prediction window [s]")
       .add_flag("repack", "adaptive: migrate borrowed calls onto freed primaries")
       .add_int("max-attempts", 10, "update-family retry cap")
+      .add_string("policy", "default",
+                  "allocation policy, name or name(k=v,...); see PROTOCOL.md")
       .add_double("drop-prob", 0.0, "fault: per-frame drop probability [0,0.9]")
       .add_double("dup-prob", 0.0, "fault: per-frame duplication probability")
       .add_double("fault-jitter-ms", 0.0, "fault: extra per-frame jitter [ms]")
@@ -138,6 +140,14 @@ int main(int argc, char** argv) {
   if (use("seed")) cfg.seed = static_cast<std::uint64_t>(args.get_int("seed"));
   if (use("max-attempts"))
     cfg.max_update_attempts = static_cast<int>(args.get_int("max-attempts"));
+  if (use("policy")) {
+    std::string specError;
+    if (!proto::parse_policy_spec(args.get_string("policy"), cfg.policy,
+                                  specError)) {
+      std::fprintf(stderr, "dcasim: %s\n", specError.c_str());
+      return 2;
+    }
+  }
   if (use("theta-low"))
     cfg.adaptive.theta_low = static_cast<int>(args.get_int("theta-low"));
   if (use("theta-high"))
