@@ -15,6 +15,7 @@
 // short holding times at high load on a large grid keep every cell's
 // queue busy, so the per-window parallelism is real work, not idle
 // barriers.
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -62,6 +63,21 @@ const char* partition_name(dca::cell::Partition p) {
   return p == dca::cell::Partition::kStriped ? "striped" : "blocks";
 }
 
+/// Worker threads a config actually runs with — the kernel's resolution of
+/// threads <= 0 ("one per shard, capped by the hardware"), so trajectory
+/// entries record real parallelism instead of the raw knob (which was
+/// recorded as a meaningless 0 before).
+int resolved_workers(const dca::runner::ScenarioConfig& c) {
+  if (c.shards <= 1 && !c.stream_metrics) return 1;  // classic engine
+  int t = c.threads;
+  if (t <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    t = static_cast<int>(std::min<unsigned>(static_cast<unsigned>(c.shards),
+                                            hw == 0 ? 1u : hw));
+  }
+  return std::min(t, c.shards);
+}
+
 struct Measurement {
   std::string scheme;
   std::string policy;  // canonical describe(), params filled in
@@ -84,7 +100,7 @@ Measurement measure(const dca::runner::ScenarioConfig& cfg, Scheme scheme,
   m.scheme = name;
   m.policy = policy_desc;
   m.shards = cfg.shards;
-  m.threads = cfg.threads;
+  m.threads = resolved_workers(cfg);
   m.partition = partition_name(cfg.partition);
   m.wall_s = std::chrono::duration<double>(t1 - t0).count();
   m.events = r.executed_events;
@@ -466,6 +482,74 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(mr.handoffs_offered));
   }
 
+  // Multi-core scaling curve: the same scenario across shards x threads,
+  // workers pinned to distinct allowed CPUs. Results are bit-identical at
+  // every point (the determinism contract), so only wall-clock moves; the
+  // curve is honest by construction — on a 1-CPU box every threads > 1
+  // point just measures oversubscription, and hardware_threads recorded
+  // alongside says so.
+  dca::benchutil::heading("scaling curve: shards x threads (pinned)");
+  struct ScalePoint {
+    int shards = 1;
+    int threads = 1;
+    double wall_s = 0.0;
+    std::uint64_t events = 0;
+    double events_per_sec = 0.0;
+  };
+  std::vector<ScalePoint> scale_points;
+  for (const int shards : {1, 2, 4, 8}) {
+    for (const int threads : {1, 2, 4, 8}) {
+      if (threads > shards) continue;  // extra workers would idle
+      dca::runner::ScenarioConfig sc = bench_config();
+      sc.shards = shards;
+      sc.threads = threads;
+      sc.pin = true;
+      // shards=1 must still exercise the sharded engine (the classic one
+      // has no workers to scale); stream_metrics routes it there.
+      sc.stream_metrics = shards == 1;
+      const auto t0 = std::chrono::steady_clock::now();
+      const RunResult r = dca::runner::run_uniform(sc, Scheme::kAdaptive, rho);
+      const auto t1 = std::chrono::steady_clock::now();
+      ScalePoint p;
+      p.shards = shards;
+      p.threads = resolved_workers(sc);
+      p.wall_s = std::chrono::duration<double>(t1 - t0).count();
+      p.events = r.executed_events;
+      p.events_per_sec =
+          p.wall_s > 0 ? static_cast<double>(p.events) / p.wall_s : 0.0;
+      scale_points.push_back(p);
+      std::printf("  shards=%d threads=%d  %9.3f s  %12.0f ev/s\n", p.shards,
+                  p.threads, p.wall_s, p.events_per_sec);
+    }
+  }
+
+  // Metro-scale memory: a 60x60 streaming run records peak RSS per cell —
+  // the budget the metro smoke test gates on. Process-wide high-water, so
+  // it is an upper bound (earlier bench sections allocated too), but this
+  // run's working set dominates the process by an order of magnitude.
+  dca::benchutil::heading("metro memory: 60x60 streaming, peak RSS per cell");
+  dca::runner::ScenarioConfig metro = bench_config();
+  metro.rows = 60;
+  metro.cols = 60;
+  metro.duration = dca::sim::seconds(30);
+  metro.warmup = dca::sim::seconds(5);
+  metro.shards = shards_n;
+  metro.stream_metrics = true;
+  const auto metro_t0 = std::chrono::steady_clock::now();
+  const RunResult metro_r = dca::runner::run_uniform(metro, Scheme::kAdaptive, rho);
+  const auto metro_t1 = std::chrono::steady_clock::now();
+  const double metro_wall =
+      std::chrono::duration<double>(metro_t1 - metro_t0).count();
+  const std::int64_t metro_cells = metro.rows * metro.cols;
+  const double metro_bytes_per_cell =
+      static_cast<double>(metro_r.peak_rss_bytes) /
+      static_cast<double>(metro_cells);
+  std::printf("  %lldx cells  %9.3f s  offered=%llu  peak_rss=%.1f MiB  %.0f bytes/cell\n",
+              static_cast<long long>(metro_cells), metro_wall,
+              static_cast<unsigned long long>(metro_r.offered_calls),
+              static_cast<double>(metro_r.peak_rss_bytes) / (1024.0 * 1024.0),
+              metro_bytes_per_cell);
+
   // Determinism sanity for the record: events/sec means nothing if the
   // sharded engine diverged. The merged trace must satisfy every
   // conformance invariant (incl. reuse-distance, which substitutes for
@@ -535,6 +619,8 @@ int main(int argc, char** argv) {
     w.value(m.shards);
     w.key("threads");
     w.value(m.threads);
+    w.key("hardware_threads");
+    w.value(static_cast<std::int64_t>(hw));
     w.key("partition");
     w.value(m.partition);
     w.key("wall_s");
@@ -575,6 +661,55 @@ int main(int argc, char** argv) {
     w.end_object();
   }
   w.end_array();
+  w.end_object();
+  w.key("scaling_curve");
+  w.begin_object();
+  w.key("grid");
+  w.value("16x16");
+  w.key("scheme");
+  w.value("adaptive");
+  w.key("pinned");
+  w.value(true);
+  w.key("hardware_threads");
+  w.value(static_cast<std::int64_t>(hw));
+  w.key("points");
+  w.begin_array();
+  for (const auto& p : scale_points) {
+    w.begin_object();
+    w.key("shards");
+    w.value(p.shards);
+    w.key("threads");
+    w.value(p.threads);
+    w.key("wall_s");
+    w.value(p.wall_s);
+    w.key("events");
+    w.value(p.events);
+    w.key("events_per_sec");
+    w.value(p.events_per_sec);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.key("metro_memory");
+  w.begin_object();
+  w.key("grid");
+  w.value("60x60");
+  w.key("scheme");
+  w.value("adaptive");
+  w.key("stream_metrics");
+  w.value(true);
+  w.key("shards");
+  w.value(metro.shards);
+  w.key("duration_s");
+  w.value(dca::sim::to_seconds(metro.duration));
+  w.key("offered_calls");
+  w.value(metro_r.offered_calls);
+  w.key("wall_s");
+  w.value(metro_wall);
+  w.key("peak_rss_bytes");
+  w.value(metro_r.peak_rss_bytes);
+  w.key("bytes_per_cell");
+  w.value(metro_bytes_per_cell);
   w.end_object();
   w.key("partition_comparison");
   w.begin_object();

@@ -26,13 +26,8 @@ AdaptiveNode::AdaptiveNode(const proto::NodeContext& ctx, const AdaptiveParams& 
   params_.theta_low = th.low;
   params_.theta_high = th.high;
   params_.check();
-  known_use_.assign(static_cast<std::size_t>(grid().n_cells()),
-                    ChannelSet(spectrum_size()));
-  pending_grants_.assign(static_cast<std::size_t>(grid().n_cells()),
-                         ChannelSet(spectrum_size()));
-  neighbor_mask_.assign(static_cast<std::size_t>(grid().n_cells()), 0);
-  for (const CellId j : interference())
-    neighbor_mask_[static_cast<std::size_t>(j)] = 1;
+  known_use_.assign(nbr_count(), ChannelSet(spectrum_size()));
+  pending_grants_.assign(nbr_count(), ChannelSet(spectrum_size()));
   claim_count_.assign(static_cast<std::size_t>(spectrum_size()), 0);
   interfered_cache_ = ChannelSet(spectrum_size());
 }
@@ -52,38 +47,46 @@ void AdaptiveNode::bump_claim(ChannelId ch, int delta) {
 }
 
 void AdaptiveNode::set_known_use(CellId j, ChannelId ch, bool on) {
-  ChannelSet& s = known_use_[static_cast<std::size_t>(j)];
+  // Writes about non-neighbours (harmless, and possible via broadcast
+  // paths) used to land in write-only per-cell slots; with rank-indexed
+  // storage they are dropped outright — nothing ever read them, because
+  // interfered() and Best() only consult IN_i members.
+  const int r = nbr_rank(j);
+  if (r < 0) return;
+  ChannelSet& s = known_use_[static_cast<std::size_t>(r)];
   if (s.contains(ch) == on) return;
   if (on) {
     s.insert(ch);
   } else {
     s.erase(ch);
   }
-  if (neighbor_mask_[static_cast<std::size_t>(j)]) bump_claim(ch, on ? 1 : -1);
+  bump_claim(ch, on ? 1 : -1);
 }
 
 void AdaptiveNode::set_pending_grant(CellId j, ChannelId ch, bool on) {
-  ChannelSet& s = pending_grants_[static_cast<std::size_t>(j)];
+  const int r = nbr_rank(j);
+  if (r < 0) return;
+  ChannelSet& s = pending_grants_[static_cast<std::size_t>(r)];
   if (s.contains(ch) == on) return;
   if (on) {
     s.insert(ch);
   } else {
     s.erase(ch);
   }
-  if (neighbor_mask_[static_cast<std::size_t>(j)]) bump_claim(ch, on ? 1 : -1);
+  bump_claim(ch, on ? 1 : -1);
 }
 
 void AdaptiveNode::assign_known_use(CellId j, const ChannelSet& nu) {
-  ChannelSet& s = known_use_[static_cast<std::size_t>(j)];
-  if (neighbor_mask_[static_cast<std::size_t>(j)]) {
-    const ChannelSet added = nu - s;
-    const ChannelSet removed = s - nu;
-    for (ChannelId c = added.first(); c != kNoChannel; c = added.next_after(c))
-      bump_claim(c, +1);
-    for (ChannelId c = removed.first(); c != kNoChannel;
-         c = removed.next_after(c))
-      bump_claim(c, -1);
-  }
+  const int r = nbr_rank(j);
+  if (r < 0) return;
+  ChannelSet& s = known_use_[static_cast<std::size_t>(r)];
+  const ChannelSet added = nu - s;
+  const ChannelSet removed = s - nu;
+  for (ChannelId c = added.first(); c != kNoChannel; c = added.next_after(c))
+    bump_claim(c, +1);
+  for (ChannelId c = removed.first(); c != kNoChannel;
+       c = removed.next_after(c))
+    bump_claim(c, -1);
   s = nu;
 }
 
@@ -615,9 +618,11 @@ cell::CellId AdaptiveNode::best_lender() const {
   CellId min_id = kNoCell;
   int min_bn = std::numeric_limits<int>::max();
   std::vector<CellId> eligible;
-  for (const CellId j : interference()) {
+  const auto nbrs = interference();
+  for (std::size_t r = 0; r < nbrs.size(); ++r) {
+    const CellId j = nbrs[r];
     if (update_set_.contains(j)) continue;  // j itself is borrowing
-    if ((freeSet - known_use_[static_cast<std::size_t>(j)]).empty()) continue;
+    if ((freeSet - known_use_[r]).empty()) continue;
     if (!params_.use_best_heuristic) {
       eligible.push_back(j);
       continue;
@@ -642,7 +647,10 @@ cell::CellId AdaptiveNode::best_lender() const {
 
 cell::ChannelId AdaptiveNode::pick_borrow_channel(CellId lender) const {
   const ChannelSet freeSet = ChannelSet::all(spectrum_size()) - use_ - interfered();
-  const ChannelSet lendable = freeSet - known_use_[static_cast<std::size_t>(lender)];
+  const int lender_rank = nbr_rank(lender);
+  assert(lender_rank >= 0 && "borrow target must be an interference neighbour");
+  const ChannelSet lendable =
+      freeSet - known_use_[static_cast<std::size_t>(lender_rank)];
   if (lendable.empty()) return kNoChannel;
   // Prefer borrowing one of the lender's own primaries; randomize within
   // the preferred tier so concurrent borrowers spread across channels.

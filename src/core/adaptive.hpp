@@ -221,14 +221,13 @@ class AdaptiveNode final : public proto::AllocatorNode {
   // decision announcements are outstanding (one entry per outstanding
   // reply; a searcher can appear at most once in practice).
   std::multiset<cell::CellId> awaiting_;
-  std::vector<cell::ChannelSet> known_use_;                // U_j by cell id
-  std::vector<cell::ChannelSet> pending_grants_;           // by cell id
-  // Cache state (see wrappers above). neighbor_mask_ marks IN_i members so
-  // writes about non-neighbours (harmless, and possible via broadcast
-  // paths) bypass the counters, matching interfered()'s old semantics of
-  // only unioning over interference(). Claims per channel are bounded by
-  // 2 * |IN_i| (known_use + pending_grants per neighbour), far below 2^16.
-  std::vector<std::uint8_t> neighbor_mask_;                // by cell id
+  std::vector<cell::ChannelSet> known_use_;                // U_j by nbr_rank
+  std::vector<cell::ChannelSet> pending_grants_;           // by nbr_rank
+  // Cache state (see wrappers above). Writes about non-neighbours
+  // (harmless, and possible via broadcast paths) are dropped by the
+  // wrappers — interfered() only ever unioned over interference().
+  // Claims per channel are bounded by 2 * |IN_i| (known_use +
+  // pending_grants per neighbour), far below 2^16.
   std::vector<std::uint16_t> claim_count_;                 // by channel
   cell::ChannelSet interfered_cache_;
   cell::ChannelSet borrowed_;                              // non-primary holdings

@@ -55,76 +55,91 @@ void Collector::close(std::uint64_t serial, sim::SimTime now, proto::Outcome out
   rec.attempts = attempts;
   rec.borrowing_neighbors = borrowing_neighbors;
   rec.searching_neighbors = searching_neighbors;
-  closed_index_.emplace(serial, closed_.size());
+  if (!streaming_) closed_index_.emplace(serial, closed_.size());
   closed_.push_back(rec);
+}
+
+std::vector<CallRecord> Collector::drain_closed_before(sim::SimTime frontier) {
+  assert(streaming_ && "draining invalidates the closed index");
+  auto split = closed_.begin();
+  while (split != closed_.end() && split->t_decision < frontier) ++split;
+  std::vector<CallRecord> out(std::make_move_iterator(closed_.begin()),
+                              std::make_move_iterator(split));
+  closed_.erase(closed_.begin(), split);
+  return out;
 }
 
 Aggregate Collector::aggregate(sim::Duration T, sim::SimTime warmup) const {
   return aggregate_records(closed_, T, warmup);
 }
 
-Aggregate aggregate_records(const std::vector<CallRecord>& records,
-                            sim::Duration T, sim::SimTime warmup) {
-  Aggregate a;
-  std::uint64_t n_local = 0, n_update = 0, n_search = 0;
-  double sum_attempts_update = 0.0;
-  double sum_borrowing = 0.0;
-  double sum_searching = 0.0;
-  std::uint64_t n_search_samples = 0;
-
-  for (const CallRecord& r : records) {
-    if (r.t_request < warmup) continue;
-    ++a.offered;
-    if (r.is_handoff) ++a.handoff_offered;
-    a.attempts.add(r.attempts);
-    a.messages_per_call.add(static_cast<double>(r.total_messages()));
-    switch (r.outcome) {
-      case proto::Outcome::kAcquiredLocal:
-        ++n_local;
-        break;
-      case proto::Outcome::kAcquiredUpdate:
-        ++n_update;
-        sum_attempts_update += r.attempts;
-        break;
-      case proto::Outcome::kAcquiredSearch:
-        ++n_search;
-        sum_searching += r.searching_neighbors;
-        ++n_search_samples;
-        break;
-      case proto::Outcome::kBlockedNoChannel:
-        ++a.blocked;
-        if (r.is_handoff) ++a.handoff_failures;
-        continue;
-      case proto::Outcome::kBlockedStarved:
-        ++a.starved;
-        if (r.is_handoff) ++a.handoff_failures;
-        continue;
-      case proto::Outcome::kBlockedTimeout:
-        ++a.timed_out;
-        if (r.is_handoff) ++a.handoff_failures;
-        continue;
-    }
-    ++a.acquired;
-    sum_borrowing += r.borrowing_neighbors;
-    a.delay_us.add(static_cast<double>(r.delay()));
-    a.delay_in_T.add(T > 0 ? static_cast<double>(r.delay()) / static_cast<double>(T)
-                           : 0.0);
-    a.messages_acquired.add(static_cast<double>(r.total_messages()));
+bool AggregateBuilder::add_core(const CallRecord& r) {
+  if (r.t_request < warmup_) return false;
+  ++a_.offered;
+  if (r.is_handoff) ++a_.handoff_offered;
+  a_.attempts.add(r.attempts);
+  switch (r.outcome) {
+    case proto::Outcome::kAcquiredLocal:
+      ++n_local_;
+      break;
+    case proto::Outcome::kAcquiredUpdate:
+      ++n_update_;
+      sum_attempts_update_ += r.attempts;
+      break;
+    case proto::Outcome::kAcquiredSearch:
+      ++n_search_;
+      sum_searching_ += r.searching_neighbors;
+      ++n_search_samples_;
+      break;
+    case proto::Outcome::kBlockedNoChannel:
+      ++a_.blocked;
+      if (r.is_handoff) ++a_.handoff_failures;
+      return true;
+    case proto::Outcome::kBlockedStarved:
+      ++a_.starved;
+      if (r.is_handoff) ++a_.handoff_failures;
+      return true;
+    case proto::Outcome::kBlockedTimeout:
+      ++a_.timed_out;
+      if (r.is_handoff) ++a_.handoff_failures;
+      return true;
   }
+  ++a_.acquired;
+  sum_borrowing_ += r.borrowing_neighbors;
+  a_.delay_us.add(static_cast<double>(r.delay()));
+  a_.delay_in_T.add(T_ > 0 ? static_cast<double>(r.delay()) / static_cast<double>(T_)
+                           : 0.0);
+  return true;
+}
 
+void AggregateBuilder::add_messages(std::uint32_t total, bool acquired) {
+  a_.messages_per_call.add(static_cast<double>(total));
+  if (acquired) a_.messages_acquired.add(static_cast<double>(total));
+}
+
+Aggregate AggregateBuilder::finish() const {
+  Aggregate a = a_;
   if (a.acquired > 0) {
     const auto acq = static_cast<double>(a.acquired);
-    a.xi1 = static_cast<double>(n_local) / acq;
-    a.xi2 = static_cast<double>(n_update) / acq;
-    a.xi3 = static_cast<double>(n_search) / acq;
-    a.mean_borrowing_neighbors = sum_borrowing / acq;
+    a.xi1 = static_cast<double>(n_local_) / acq;
+    a.xi2 = static_cast<double>(n_update_) / acq;
+    a.xi3 = static_cast<double>(n_search_) / acq;
+    a.mean_borrowing_neighbors = sum_borrowing_ / acq;
   }
-  if (n_update > 0)
-    a.mean_update_attempts = sum_attempts_update / static_cast<double>(n_update);
-  if (n_search_samples > 0)
+  if (n_update_ > 0)
+    a.mean_update_attempts =
+        sum_attempts_update_ / static_cast<double>(n_update_);
+  if (n_search_samples_ > 0)
     a.mean_searching_neighbors =
-        sum_searching / static_cast<double>(n_search_samples);
+        sum_searching_ / static_cast<double>(n_search_samples_);
   return a;
+}
+
+Aggregate aggregate_records(const std::vector<CallRecord>& records,
+                            sim::Duration T, sim::SimTime warmup) {
+  AggregateBuilder b(T, warmup);
+  for (const CallRecord& r : records) b.add(r);
+  return b.finish();
 }
 
 }  // namespace dca::metrics

@@ -80,6 +80,59 @@ struct Aggregate {
   }
 };
 
+/// Incremental accumulator behind aggregate_records. Records are folded
+/// one at a time in canonical order, so a streaming engine can retire
+/// closed records window by window instead of buffering the full run.
+///
+/// The message-count Summaries are split out of add_core() because a
+/// record's message tally is NOT final at its decision instant — the
+/// end-of-call RELEASE (and any retried control leg) bills later. The
+/// streaming engine therefore folds add_core() at window barriers, keeps
+/// per-serial tallies, and replays add_messages() in fold order at run
+/// end. Each Summary's accumulation state depends only on its own add()
+/// sequence, so deferring one pair of Summaries past the others is still
+/// bit-identical to the buffered single pass.
+class AggregateBuilder {
+ public:
+  explicit AggregateBuilder(sim::Duration T, sim::SimTime warmup = 0)
+      : T_(T), warmup_(warmup) {}
+
+  /// True iff `outcome` granted a channel (vs blocked/starved/timed out).
+  [[nodiscard]] static bool acquired_outcome(proto::Outcome outcome) noexcept {
+    return outcome == proto::Outcome::kAcquiredLocal ||
+           outcome == proto::Outcome::kAcquiredUpdate ||
+           outcome == proto::Outcome::kAcquiredSearch;
+  }
+
+  /// Folds every statistic except messages_per_call / messages_acquired.
+  /// Returns false when the record fell inside warmup (discarded); the
+  /// caller must mirror that admission decision for add_messages().
+  bool add_core(const CallRecord& r);
+
+  /// Folds one admitted record's final message total. Must be called in
+  /// the same record order as add_core(), acquired = whether the record's
+  /// outcome acquired a channel.
+  void add_messages(std::uint32_t total, bool acquired);
+
+  /// Buffered path: both halves at once.
+  void add(const CallRecord& r) {
+    if (add_core(r)) add_messages(r.total_messages(), acquired_outcome(r.outcome));
+  }
+
+  /// Finalizes the derived ratios and returns the aggregate.
+  [[nodiscard]] Aggregate finish() const;
+
+ private:
+  sim::Duration T_;
+  sim::SimTime warmup_;
+  Aggregate a_;
+  std::uint64_t n_local_ = 0, n_update_ = 0, n_search_ = 0;
+  double sum_attempts_update_ = 0.0;
+  double sum_borrowing_ = 0.0;
+  double sum_searching_ = 0.0;
+  std::uint64_t n_search_samples_ = 0;
+};
+
 /// Aggregates a sequence of closed call records. This is the single
 /// source of truth for Aggregate: Collector::aggregate delegates here, and
 /// the sharded engine calls it directly on the canonically-merged record
@@ -133,6 +186,18 @@ class Collector {
   }
   [[nodiscard]] std::size_t open_count() const noexcept { return open_.size(); }
 
+  /// Streaming mode: the owner drains closed records periodically, so the
+  /// serial -> closed-slot index (useless once records leave the
+  /// collector, ~48 bytes/call) is not maintained. Late bills must then be
+  /// routed by the owner's own tallies, never through bill().
+  void set_streaming(bool on) noexcept { streaming_ = on; }
+  [[nodiscard]] bool streaming() const noexcept { return streaming_; }
+
+  /// Removes and returns the prefix of closed records with t_decision <
+  /// `frontier`. Records close in non-decreasing decision order per
+  /// collector, so this is a prefix splice. Streaming mode only.
+  [[nodiscard]] std::vector<CallRecord> drain_closed_before(sim::SimTime frontier);
+
   /// Aggregates closed records; `T` is the latency bound for delay_in_T and
   /// `warmup` discards records whose request instant precedes it.
   [[nodiscard]] Aggregate aggregate(sim::Duration T, sim::SimTime warmup = 0) const;
@@ -142,6 +207,7 @@ class Collector {
   std::vector<CallRecord> closed_;
   std::unordered_map<std::uint64_t, std::size_t> closed_index_;  // serial -> slot
   std::uint64_t unattributed_ = 0;
+  bool streaming_ = false;
 };
 
 }  // namespace dca::metrics

@@ -15,16 +15,13 @@ AdvancedSearchNode::AdvancedSearchNode(const NodeContext& ctx,
   // Allocation is demand-driven from a cold start: a full static
   // pre-allocation would leave interior regions with no unallocated
   // channel to grab and no unique owner to transfer from.
-  known_allocated_.assign(static_cast<std::size_t>(grid().n_cells()),
-                          cell::ChannelSet(spectrum_size()));
-  known_busy_.assign(static_cast<std::size_t>(grid().n_cells()),
-                     cell::ChannelSet(spectrum_size()));
+  known_allocated_.assign(nbr_count(), cell::ChannelSet(spectrum_size()));
+  known_busy_.assign(nbr_count(), cell::ChannelSet(spectrum_size()));
 }
 
 cell::ChannelSet AdvancedSearchNode::region_allocated() const {
   cell::ChannelSet out = allocated_;
-  for (const cell::CellId j : interference())
-    out |= known_allocated_[static_cast<std::size_t>(j)];
+  for (std::size_t r = 0; r < nbr_count(); ++r) out |= known_allocated_[r];
   return out;
 }
 
@@ -112,8 +109,10 @@ void AdvancedSearchNode::reply_sets(cell::CellId to, std::uint64_t serial) {
 void AdvancedSearchNode::handle_response(const net::Message& msg) {
   if (!search_.has_value() || msg.serial != search_->serial) return;
   assert(msg.res_type == net::ResType::kSearchReply);
-  known_allocated_[static_cast<std::size_t>(msg.from)] = msg.alloc;
-  known_busy_[static_cast<std::size_t>(msg.from)] = msg.use;
+  if (const int r = nbr_rank(msg.from); r >= 0) {
+    known_allocated_[static_cast<std::size_t>(r)] = msg.alloc;
+    known_busy_[static_cast<std::size_t>(r)] = msg.use;
+  }
   ++search_->responses;
   if (search_->responses == static_cast<int>(interference().size())) {
     search_->info_complete = true;
@@ -124,8 +123,10 @@ void AdvancedSearchNode::handle_response(const net::Message& msg) {
 void AdvancedSearchNode::handle_acquisition(const net::Message& msg) {
   assert(msg.acq_type == net::AcqType::kSearch);
   if (msg.channel != cell::kNoChannel) {
-    known_allocated_[static_cast<std::size_t>(msg.from)].insert(msg.channel);
-    known_busy_[static_cast<std::size_t>(msg.from)].insert(msg.channel);
+    if (const int r = nbr_rank(msg.from); r >= 0) {
+      known_allocated_[static_cast<std::size_t>(r)].insert(msg.channel);
+      known_busy_[static_cast<std::size_t>(r)].insert(msg.channel);
+    }
   }
   await_decision_.erase(msg.from);
   // The announcer's search is over; drop any reply we still owe it (only
@@ -140,8 +141,10 @@ void AdvancedSearchNode::handle_acquisition(const net::Message& msg) {
 
 void AdvancedSearchNode::handle_release(const net::Message& msg) {
   // A RELEASE in this scheme announces a *deallocation* (transfer out).
-  known_allocated_[static_cast<std::size_t>(msg.from)].erase(msg.channel);
-  known_busy_[static_cast<std::size_t>(msg.from)].erase(msg.channel);
+  if (const int r = nbr_rank(msg.from); r >= 0) {
+    known_allocated_[static_cast<std::size_t>(r)].erase(msg.channel);
+    known_busy_[static_cast<std::size_t>(r)].erase(msg.channel);
+  }
 }
 
 void AdvancedSearchNode::maybe_select() {
@@ -156,8 +159,8 @@ void AdvancedSearchNode::select_or_transfer() {
   // 1. A channel unallocated across the whole region: allocate it.
   cell::ChannelSet unallocated = cell::ChannelSet::all(spectrum_size());
   unallocated -= allocated_;
-  for (const cell::CellId j : interference())
-    unallocated -= known_allocated_[static_cast<std::size_t>(j)];
+  for (std::size_t r = 0; r < nbr_count(); ++r)
+    unallocated -= known_allocated_[r];
   const cell::ChannelId fresh = unallocated.first();
   if (fresh != cell::kNoChannel) {
     allocated_.insert(fresh);
@@ -175,13 +178,14 @@ void AdvancedSearchNode::select_or_transfer() {
       if (allocated_.contains(r)) continue;
       std::vector<cell::CellId> owners;
       bool busy_somewhere = false;
-      for (const cell::CellId j : interference()) {
-        if (!known_allocated_[static_cast<std::size_t>(j)].contains(r)) continue;
-        if (known_busy_[static_cast<std::size_t>(j)].contains(r)) {
+      const auto nbrs = interference();
+      for (std::size_t j = 0; j < nbrs.size(); ++j) {
+        if (!known_allocated_[j].contains(r)) continue;
+        if (known_busy_[j].contains(r)) {
           busy_somewhere = true;
           break;
         }
-        owners.push_back(j);
+        owners.push_back(nbrs[j]);
       }
       if (busy_somewhere || owners.empty()) continue;
       search_->candidates.emplace_back(r, std::move(owners));
@@ -254,8 +258,10 @@ void AdvancedSearchNode::handle_transfer(const net::Message& msg) {
         // Unanimous agreement: confirm with every owner and take r.
         for (const cell::CellId owner : search_->agreed) {
           send_transfer(owner, search_->serial, r, net::TransferOp::kKeep);
-          known_allocated_[static_cast<std::size_t>(owner)].erase(r);
-          known_busy_[static_cast<std::size_t>(owner)].erase(r);
+          if (const int rank = nbr_rank(owner); rank >= 0) {
+            known_allocated_[static_cast<std::size_t>(rank)].erase(r);
+            known_busy_[static_cast<std::size_t>(rank)].erase(r);
+          }
         }
         allocated_.insert(r);
         use_.insert(r);

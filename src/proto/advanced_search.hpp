@@ -124,8 +124,8 @@ class AdvancedSearchNode final : public AllocatorNode {
   cell::ChannelSet allocated_;                      // our allocated set
   cell::ChannelSet offered_;                        // reserved for a requester
   std::unordered_map<cell::ChannelId, cell::CellId> offered_to_;
-  std::vector<cell::ChannelSet> known_allocated_;   // by cell id
-  std::vector<cell::ChannelSet> known_busy_;        // by cell id
+  std::vector<cell::ChannelSet> known_allocated_;   // by nbr_rank
+  std::vector<cell::ChannelSet> known_busy_;        // by nbr_rank
   std::optional<Search> search_;
   std::unordered_set<cell::CellId> await_decision_;
   std::deque<Deferred> defer_;

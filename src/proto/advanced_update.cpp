@@ -7,8 +7,7 @@ namespace dca::proto {
 AdvancedUpdateNode::AdvancedUpdateNode(const NodeContext& ctx, int max_attempts)
     : AllocatorNode(ctx), max_attempts_(max_attempts) {
   assert(max_attempts_ >= 1);
-  known_use_.assign(static_cast<std::size_t>(grid().n_cells()),
-                    cell::ChannelSet(spectrum_size()));
+  known_use_.assign(nbr_count(), cell::ChannelSet(spectrum_size()));
   compute_borrowable_colors();
 }
 
@@ -45,15 +44,14 @@ void AdvancedUpdateNode::compute_borrowable_colors() {
 
 cell::ChannelSet AdvancedUpdateNode::interfered() const {
   cell::ChannelSet out(spectrum_size());
-  for (const cell::CellId j : interference())
-    out |= known_use_[static_cast<std::size_t>(j)];
+  for (std::size_t r = 0; r < nbr_count(); ++r) out |= known_use_[r];
   return out;
 }
 
 bool AdvancedUpdateNode::believed_free(cell::ChannelId r) const {
   if (use_.contains(r)) return false;
-  for (const cell::CellId j : interference())
-    if (known_use_[static_cast<std::size_t>(j)].contains(r)) return false;
+  for (std::size_t j = 0; j < nbr_count(); ++j)
+    if (known_use_[j].contains(r)) return false;
   return true;
 }
 
@@ -145,7 +143,8 @@ void AdvancedUpdateNode::on_message(const net::Message& msg) {
       break;
     case net::MsgKind::kAcquisition:
       if (msg.channel != cell::kNoChannel) {
-        known_use_[static_cast<std::size_t>(msg.from)].insert(msg.channel);
+        if (const int r = nbr_rank(msg.from); r >= 0)
+          known_use_[static_cast<std::size_t>(r)].insert(msg.channel);
         // A confirmed acquisition settles any promise of that channel.
         if (auto it = promises_.find(msg.channel);
             it != promises_.end() && it->second.to == msg.from) {
@@ -154,7 +153,8 @@ void AdvancedUpdateNode::on_message(const net::Message& msg) {
       }
       break;
     case net::MsgKind::kRelease:
-      known_use_[static_cast<std::size_t>(msg.from)].erase(msg.channel);
+      if (const int r = nbr_rank(msg.from); r >= 0)
+        known_use_[static_cast<std::size_t>(r)].erase(msg.channel);
       if (auto it = promises_.find(msg.channel);
           it != promises_.end() && it->second.to == msg.from) {
         promises_.erase(it);

@@ -100,7 +100,7 @@ class AdvancedUpdateNode final : public AllocatorNode {
 
   int max_attempts_;
   std::optional<Attempt> attempt_;
-  std::vector<cell::ChannelSet> known_use_;                 // U_j by cell id
+  std::vector<cell::ChannelSet> known_use_;                 // U_j by nbr_rank
   std::unordered_map<cell::ChannelId, Promise> promises_;   // our primaries only
   std::vector<cell::CellId> granters_;
   std::vector<bool> borrowable_colors_;  // by colour class

@@ -217,6 +217,24 @@ class AllocatorNode {
   [[nodiscard]] std::span<const cell::CellId> interference() const {
     return grid_->interference(id_);
   }
+
+  /// Dense rank of `j` in this node's interference list (0..|IN_i|-1), or
+  /// -1 when j is not an interference neighbour. The schemes' per-
+  /// neighbour bookkeeping vectors (U_j, pending grants, allocated sets)
+  /// are rank-indexed so a node's footprint scales with |IN_i| instead of
+  /// the whole grid — the difference between O(cells * |IN|) and the
+  /// O(cells^2) that made metro-scale grids unrunnable. |IN_i| is a couple
+  /// of dozen cells at most, so the linear scan beats any map.
+  [[nodiscard]] int nbr_rank(cell::CellId j) const {
+    const auto nbrs = grid_->interference(id_);
+    for (std::size_t r = 0; r < nbrs.size(); ++r) {
+      if (nbrs[r] == j) return static_cast<int>(r);
+    }
+    return -1;
+  }
+  [[nodiscard]] std::size_t nbr_count() const {
+    return grid_->interference(id_).size();
+  }
   [[nodiscard]] int spectrum_size() const noexcept { return plan_->n_channels(); }
   [[nodiscard]] const cell::ChannelSet& primary() const { return plan_->primary(id_); }
   [[nodiscard]] NodeEnv& env() const noexcept { return *env_; }

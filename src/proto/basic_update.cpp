@@ -8,17 +8,15 @@ BasicUpdateNode::BasicUpdateNode(const NodeContext& ctx, int max_attempts,
                                  ChannelPick pick)
     : AllocatorNode(ctx), max_attempts_(max_attempts), pick_(pick) {
   assert(max_attempts_ >= 1);
-  known_use_.assign(static_cast<std::size_t>(grid().n_cells()),
-                    cell::ChannelSet(spectrum_size()));
-  pending_grants_.assign(static_cast<std::size_t>(grid().n_cells()),
-                         cell::ChannelSet(spectrum_size()));
+  known_use_.assign(nbr_count(), cell::ChannelSet(spectrum_size()));
+  pending_grants_.assign(nbr_count(), cell::ChannelSet(spectrum_size()));
 }
 
 cell::ChannelSet BasicUpdateNode::interfered() const {
   cell::ChannelSet out(spectrum_size());
-  for (const cell::CellId j : interference()) {
-    out |= known_use_[static_cast<std::size_t>(j)];
-    out |= pending_grants_[static_cast<std::size_t>(j)];
+  for (std::size_t r = 0; r < nbr_count(); ++r) {
+    out |= known_use_[r];
+    out |= pending_grants_[r];
   }
   return out;
 }
@@ -85,13 +83,17 @@ void BasicUpdateNode::on_message(const net::Message& msg) {
       break;
     case net::MsgKind::kAcquisition:
       if (msg.channel != cell::kNoChannel) {
-        known_use_[static_cast<std::size_t>(msg.from)].insert(msg.channel);
-        pending_grants_[static_cast<std::size_t>(msg.from)].erase(msg.channel);
+        if (const int r = nbr_rank(msg.from); r >= 0) {
+          known_use_[static_cast<std::size_t>(r)].insert(msg.channel);
+          pending_grants_[static_cast<std::size_t>(r)].erase(msg.channel);
+        }
       }
       break;
     case net::MsgKind::kRelease:
-      known_use_[static_cast<std::size_t>(msg.from)].erase(msg.channel);
-      pending_grants_[static_cast<std::size_t>(msg.from)].erase(msg.channel);
+      if (const int r = nbr_rank(msg.from); r >= 0) {
+        known_use_[static_cast<std::size_t>(r)].erase(msg.channel);
+        pending_grants_[static_cast<std::size_t>(r)].erase(msg.channel);
+      }
       break;
     default:
       assert(false && "unexpected message kind for basic update");
@@ -120,7 +122,9 @@ void BasicUpdateNode::handle_request(const net::Message& msg) {
 
 void BasicUpdateNode::grant(cell::CellId to, std::uint64_t serial,
                             std::uint64_t wave, cell::ChannelId r) {
-  pending_grants_[static_cast<std::size_t>(to)].insert(r);
+  if (const int rank = nbr_rank(to); rank >= 0) {
+    pending_grants_[static_cast<std::size_t>(rank)].insert(r);
+  }
   net::Message resp;
   resp.kind = net::MsgKind::kResponse;
   resp.res_type = net::ResType::kGrant;

@@ -80,8 +80,8 @@ class BasicUpdateNode final : public AllocatorNode {
   ChannelPick pick_;
   cell::ChannelId pick_cursor_ = cell::kNoChannel;
   std::optional<Attempt> attempt_;
-  std::vector<cell::ChannelSet> known_use_;       // U_j, indexed by cell id
-  std::vector<cell::ChannelSet> pending_grants_;  // granted to j, unconfirmed
+  std::vector<cell::ChannelSet> known_use_;       // U_j, indexed by nbr_rank
+  std::vector<cell::ChannelSet> pending_grants_;  // granted to j, unconfirmed (by nbr_rank)
   std::vector<cell::CellId> granters_;            // who granted the current attempt
 };
 

@@ -5,16 +5,40 @@
 #include <mutex>
 #include <thread>
 
+#ifdef __linux__
+#include <sys/resource.h>
+#endif
+
 #include "runner/shard_world.hpp"
 #include "traffic/generator.hpp"
 
 namespace dca::runner {
 
+namespace {
+
+/// Peak resident set of this process in bytes (0 when unavailable).
+/// Linux reports ru_maxrss in kilobytes.
+std::uint64_t peak_rss_bytes_now() {
+#ifdef __linux__
+  rusage u{};
+  if (getrusage(RUSAGE_SELF, &u) == 0) {
+    return static_cast<std::uint64_t>(u.ru_maxrss) * 1024u;
+  }
+#endif
+  return 0;
+}
+
+}  // namespace
+
 RunResult run_profile(const ScenarioConfig& config, Scheme scheme,
                       const traffic::LoadProfile& profile,
                       sim::TraceRecorder* trace) {
-  if (config.shards > 1) {
-    return run_profile_sharded(config, scheme, profile, trace);
+  // stream_metrics routes through the sharded engine even at shards == 1:
+  // the classic engine has no window barriers to fold at.
+  if (config.shards > 1 || config.stream_metrics) {
+    RunResult out = run_profile_sharded(config, scheme, profile, trace);
+    out.peak_rss_bytes = peak_rss_bytes_now();
+    return out;
   }
   World world(config, scheme);
   world.set_recorder(trace);
@@ -52,6 +76,7 @@ RunResult run_profile(const ScenarioConfig& config, Scheme scheme,
     end.b = static_cast<std::int64_t>(world.active_calls());
     trace->emit(end);
   }
+  out.peak_rss_bytes = peak_rss_bytes_now();
   return out;
 }
 

@@ -35,6 +35,20 @@ struct RunResult {
   bool quiescent = false;
   net::TransportStats transport;  // all-zero unless faults were enabled
 
+  /// Process-wide peak resident set (getrusage ru_maxrss) sampled after
+  /// the run, in bytes; 0 where the platform cannot report it. A
+  /// high-water mark, so it reflects the largest run of the process, not
+  /// necessarily this one — meaningful for one-run processes (dcasim,
+  /// the metro smoke test) and as an upper bound elsewhere.
+  std::uint64_t peak_rss_bytes = 0;
+  /// In-engine conformance replay (streaming mode with a trace attached):
+  /// whether it ran, and how many invariant violations it found.
+  bool conformance_checked = false;
+  std::uint64_t conformance_violations = 0;
+  [[nodiscard]] bool conformance_ok() const {
+    return conformance_checked && conformance_violations == 0;
+  }
+
   /// Control messages per offered call over the whole run (global view,
   /// complementary to the per-call attribution in agg.messages_per_call).
   [[nodiscard]] double messages_per_offered() const {

@@ -18,9 +18,16 @@
 // state per (cell, instant) to agree, and that is fixed by the (bit-
 // identical) event streams, so both engines reconstruct the same counts
 // for any shard/thread configuration.
+//
+// Storage: one 8-byte word per change — (t << 2) | borrowing << 1 |
+// searching. A busy metro cell flips flags thousands of times over a
+// long run; the packed form halves the old {SimTime, bool, bool} layout
+// and, with prune_before(), the streaming engine keeps only the suffix
+// future closes can still observe instead of the whole history.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -30,17 +37,15 @@
 
 namespace dca::runner {
 
-/// One (t, flags) step of a cell's is_borrowing/is_searching timeline.
-struct FlagChange {
-  sim::SimTime t = 0;
-  bool borrowing = false;
-  bool searching = false;
-};
+/// One (t, flags) step of a cell's is_borrowing/is_searching timeline,
+/// packed into a single word: t in the high 62 bits, borrowing at bit 1,
+/// searching at bit 0.
+using PackedFlagChange = std::uint64_t;
 
 class FlagTimelines {
  public:
   void reset(std::size_t n_cells) {
-    cur_.assign(n_cells, FlagChange{});
+    cur_.assign(n_cells, 0);
     timelines_.assign(n_cells, {});
   }
 
@@ -48,11 +53,11 @@ class FlagTimelines {
   /// timeline entry only when they changed. Must be called with
   /// non-decreasing `t` per cell (execution order guarantees this).
   void observe(cell::CellId c, sim::SimTime t, bool borrowing, bool searching) {
-    FlagChange& cur = cur_[static_cast<std::size_t>(c)];
-    if (borrowing == cur.borrowing && searching == cur.searching) return;
-    cur.borrowing = borrowing;
-    cur.searching = searching;
-    cur.t = t;
+    PackedFlagChange& cur = cur_[static_cast<std::size_t>(c)];
+    const std::uint64_t flags = (static_cast<std::uint64_t>(borrowing) << 1) |
+                                static_cast<std::uint64_t>(searching);
+    if (flags == (cur & 3ull)) return;
+    cur = (static_cast<std::uint64_t>(t) << 2) | flags;
     timelines_[static_cast<std::size_t>(c)].push_back(cur);
   }
 
@@ -65,10 +70,12 @@ class FlagTimelines {
     const auto& tl = timelines_[static_cast<std::size_t>(j)];
     auto it = std::upper_bound(
         tl.begin(), tl.end(), bound,
-        [](sim::SimTime lhs, const FlagChange& fc) { return lhs < fc.t; });
+        [](sim::SimTime lhs, PackedFlagChange fc) {
+          return lhs < static_cast<sim::SimTime>(fc >> 2);
+        });
     if (it == tl.begin()) return {false, false};
     --it;
-    return {it->borrowing, it->searching};
+    return {((*it >> 1) & 1ull) != 0, (*it & 1ull) != 0};
   }
 
   /// Fills every record's neighbour samples from the timelines (legacy
@@ -86,9 +93,32 @@ class FlagTimelines {
     }
   }
 
+  /// Drops timeline entries no future query can observe: once every
+  /// remaining record closes at t_decision >= frontier, the earliest
+  /// bound ever queried is frontier - 1, which resolves to the LAST
+  /// entry with t < frontier — keep that one, drop everything before it.
+  void prune_before(sim::SimTime frontier) {
+    for (auto& tl : timelines_) {
+      auto it = std::upper_bound(
+          tl.begin(), tl.end(), frontier - 1,
+          [](sim::SimTime lhs, PackedFlagChange fc) {
+            return lhs < static_cast<sim::SimTime>(fc >> 2);
+          });
+      if (it == tl.begin()) continue;
+      tl.erase(tl.begin(), std::prev(it));
+    }
+  }
+
+  /// Total retained entries across all cells (memory introspection).
+  [[nodiscard]] std::size_t total_entries() const noexcept {
+    std::size_t n = 0;
+    for (const auto& tl : timelines_) n += tl.size();
+    return n;
+  }
+
  private:
-  std::vector<FlagChange> cur_;  // latest flags per cell
-  std::vector<std::vector<FlagChange>> timelines_;
+  std::vector<PackedFlagChange> cur_;  // latest flags per cell
+  std::vector<std::vector<PackedFlagChange>> timelines_;
 };
 
 }  // namespace dca::runner

@@ -60,6 +60,9 @@ std::string validate_scenario(const ScenarioConfig& c) {
       return "sharded execution needs latency > 0 (the per-link latency "
              "floors are the engine's lookahead)";
   }
+  if (c.stream_metrics && c.latency <= 0)
+    return "stream_metrics runs on the sharded engine and needs latency > 0 "
+           "(the per-link latency floors are the engine's lookahead)";
   if (c.radio_fade_prob < 0.0 || c.radio_fade_prob >= 1.0)
     return "radio_fade_prob must be in [0, 1)";
   {

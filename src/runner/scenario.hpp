@@ -89,6 +89,18 @@ struct ScenarioConfig {
   /// neighbourhoods shard-local and is the default; kStriped is the legacy
   /// cell % shards interleaving.
   cell::Partition partition = cell::Partition::kBlocks;
+  /// Pin sharded-engine workers to distinct allowed CPUs (worker i -> the
+  /// i-th CPU of the process affinity mask). Wall-clock stability only —
+  /// never affects results. Silently unavailable off Linux.
+  bool pin = false;
+  /// Stream metrics (and the trace, when one is attached) out of the
+  /// engine at window barriers instead of buffering every call record to
+  /// the end of the run: peak memory stays bounded by the in-flight
+  /// working set instead of growing with call count. Aggregates are
+  /// bit-identical to the buffered path. Routes through the sharded
+  /// engine even when shards == 1 (the classic engine has no windows to
+  /// stream at).
+  bool stream_metrics = false;
 
   // Update-family retry cap (the paper's schemes may retry unboundedly;
   // see DESIGN.md faithfulness note 7).

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "cell/partition.hpp"
 #include "cell/reuse.hpp"
 #include "metrics/collector.hpp"
+#include "runner/conformance.hpp"
 #include "net/fault.hpp"
 #include "net/latency.hpp"
 #include "net/link_table.hpp"
@@ -130,15 +132,16 @@ struct alignas(64) ShardState {
   std::uint64_t total_sent = 0;
   std::uint64_t cross_shard_sent = 0;  // protocol messages leaving this shard
   std::array<std::uint64_t, net::kNumMsgKinds> by_kind{};
-  // All per-link state is a flat vector indexed by the shared LinkTable's
-  // LinkId (all protocol traffic is within interference neighbourhoods, so
-  // every link is enumerated up front). Each shard only ever touches the
-  // entries whose owning side lives on it, so the full-size vectors are
-  // uncontended; they cost sizeof(entry) * n_links per shard.
-  std::vector<sim::SimTime> link_clock;   // FIFO floor (sender side)
-  std::vector<std::uint64_t> link_seq;    // canonical key seq (sender side)
-  std::vector<LinkTx> tx;                 // transport send window
-  std::vector<LinkRx> rx;                 // transport resequencer
+  // All per-link state is a flat vector indexed by the owning side's
+  // *rank*: the world precomputes tx_rank_[lid] (dense index among links
+  // whose sender lives on shard_of(from)) and rx_rank_[lid] (receiver
+  // side), so each shard allocates only its own links' entries and the
+  // total across shards is n_links, not n_links * shards — the difference
+  // between ~26 MB and ~200 MB of link state on a 300x300 metro grid.
+  std::vector<sim::SimTime> link_clock;   // FIFO floor, by tx rank
+  std::vector<std::uint64_t> link_seq;    // canonical key seq, by tx rank
+  std::vector<LinkTx> tx;                 // transport send window, by tx rank
+  std::vector<LinkRx> rx;                 // transport resequencer, by rx rank
   // Lazily materialized (an engaged mt19937_64 is ~2.5 KB and most links
   // of a large grid never fault); derivation is a pure function of
   // (seed, link) so lazy == eager, draw for draw.
@@ -151,6 +154,13 @@ struct alignas(64) ShardState {
   // -- calls & metrics --------------------------------------------------
   metrics::Collector collector;  // records whose request cell is local
   std::vector<std::pair<std::uint64_t, net::MsgKind>> foreign_bills;
+  // Streaming-mode message attribution: total attributed messages per
+  // serial, merged across shards by summation at run end. Replaces both
+  // the per-record per-kind arrays and the foreign-billing log (only the
+  // two message Summaries ever read a record's messages, and only as a
+  // total), so a bill landing after its record was folded is still exact.
+  std::vector<std::uint32_t> msg_tally_base;                       // serial - 1
+  std::unordered_map<std::uint64_t, std::uint32_t> msg_tally_hop;  // handoff legs
   std::unordered_map<std::uint64_t, PendingCall> pending;
   std::unordered_map<std::uint64_t, ActiveCall> active;
   std::uint64_t violations = 0;
@@ -170,10 +180,10 @@ struct alignas(64) ShardState {
 class ShardedWorld {
  public:
   ShardedWorld(const ScenarioConfig& config, Scheme scheme,
-               const traffic::LoadProfile& profile, bool tracing);
+               const traffic::LoadProfile& profile, sim::TraceRecorder* trace);
 
   void run();
-  [[nodiscard]] RunResult result(sim::TraceRecorder* trace_out);
+  [[nodiscard]] RunResult result();
 
  private:
   friend class ShardEnv;
@@ -245,9 +255,16 @@ class ShardedWorld {
 
   [[nodiscard]] bool quiescent() const;
 
+  // Streaming consumption (config_.stream_metrics): invoked by the kernel
+  // at window barriers; folds everything that became final before
+  // `frontier` into the incremental aggregate and releases its memory.
+  void on_window(sim::SimTime frontier);
+  void fold_to(sim::SimTime frontier);
+
   ScenarioConfig config_;
   Scheme scheme_;
   const traffic::LoadProfile& profile_;
+  sim::TraceRecorder* trace_;
   bool tracing_;
   cell::HexGrid grid_;
   cell::ReusePlan plan_;
@@ -284,6 +301,26 @@ class ShardedWorld {
   // Flag timelines for deferred neighbour sampling (shared convention
   // with the classic engine, see flag_timeline.hpp).
   FlagTimelines flags_;
+
+  // Dense per-link rank maps (see ShardState): tx_rank_[lid] indexes the
+  // sender-side vectors of shard_of(from), rx_rank_[lid] the receiver-side
+  // vectors of shard_of(to). Built once, read-only during the run.
+  std::vector<std::uint32_t> tx_rank_;
+  std::vector<std::uint32_t> rx_rank_;
+
+  // -- streaming-mode state (config_.stream_metrics) ---------------------
+  bool streaming_ = false;
+  std::optional<metrics::AggregateBuilder> builder_;
+  // Admitted records in fold order: (serial, acquired). The deferred
+  // message Summaries replay over this at run end once the per-serial
+  // tallies are final — 9 bytes/call instead of a ~120-byte CallRecord.
+  std::vector<std::pair<std::uint64_t, bool>> fold_order_;
+  sim::SimTime next_fold_ = 0;
+  sim::Duration fold_stride_ = 0;
+  // In-engine conformance replay over the drained trace prefixes (the
+  // streamed trace may be spilled or discarded by the recorder's sink, so
+  // post-hoc check_trace is not an option).
+  std::unique_ptr<ConformanceChecker> conform_;
 };
 
 // -- ShardEnv forwarding ---------------------------------------------------
@@ -330,11 +367,13 @@ bool ShardEnv::channel_usable(CellId cellId, cell::ChannelId ch) const {
 // -- construction ----------------------------------------------------------
 
 ShardedWorld::ShardedWorld(const ScenarioConfig& config, Scheme scheme,
-                           const traffic::LoadProfile& profile, bool tracing)
+                           const traffic::LoadProfile& profile,
+                           sim::TraceRecorder* trace)
     : config_(config),
       scheme_(scheme),
       profile_(profile),
-      tracing_(tracing),
+      trace_(trace),
+      tracing_(trace != nullptr),
       grid_(config.rows, config.cols, config.interference_radius, config.wrap),
       plan_(config.greedy_plan
                 ? cell::ReusePlan::greedy(grid_, config.n_channels)
@@ -372,13 +411,30 @@ ShardedWorld::ShardedWorld(const ScenarioConfig& config, Scheme scheme,
   const auto n = static_cast<std::size_t>(grid_.n_cells());
   const auto n_links = static_cast<std::size_t>(links_.n_links());
   latency_->bind_links(links_);
-  for (ShardState& st : states_) {
-    st.link_clock.assign(n_links, 0);
-    st.link_seq.assign(n_links, 0);
+  // Dense per-shard link ranks: each shard's vectors hold only the links
+  // whose owning side lives on it, so total link state is n_links entries
+  // across all shards.
+  tx_rank_.resize(n_links);
+  rx_rank_.resize(n_links);
+  std::vector<std::uint32_t> tx_count(static_cast<std::size_t>(config_.shards), 0);
+  std::vector<std::uint32_t> rx_count(static_cast<std::size_t>(config_.shards), 0);
+  for (LinkId lid = 0; lid < links_.n_links(); ++lid) {
+    const auto [from, to] = links_.endpoints(lid);
+    tx_rank_[static_cast<std::size_t>(lid)] =
+        tx_count[static_cast<std::size_t>(kernel_.shard_of(from))]++;
+    rx_rank_[static_cast<std::size_t>(lid)] =
+        rx_count[static_cast<std::size_t>(kernel_.shard_of(to))]++;
+  }
+  for (int s = 0; s < config_.shards; ++s) {
+    ShardState& st = states_[static_cast<std::size_t>(s)];
+    const auto n_tx = static_cast<std::size_t>(tx_count[static_cast<std::size_t>(s)]);
+    st.link_clock.assign(n_tx, 0);
+    st.link_seq.assign(n_tx, 0);
     if (transport_) {
-      st.tx.resize(n_links);
-      st.rx.resize(n_links);
-      st.fault_rng.resize(n_links);
+      st.tx.resize(n_tx);
+      st.rx.resize(
+          static_cast<std::size_t>(rx_count[static_cast<std::size_t>(s)]));
+      st.fault_rng.resize(n_tx);
     }
     if (config_.fault.pauses()) {
       st.paused.assign(n, 0);
@@ -426,6 +482,25 @@ ShardedWorld::ShardedWorld(const ScenarioConfig& config, Scheme scheme,
   for (CellId c = 0; c < grid_.n_cells(); ++c) {
     schedule_next_candidate(c, 0);
   }
+
+  kernel_.set_pin_threads(config_.pin);
+  if (config_.stream_metrics) {
+    streaming_ = true;
+    builder_.emplace(latency_->max_one_way(), config_.warmup);
+    for (ShardState& st : states_) {
+      st.collector.set_streaming(true);
+      st.msg_tally_base.assign(serial_cell_.size(), 0);
+    }
+    if (tracing_) {
+      conform_ = std::make_unique<ConformanceChecker>(grid_, config_.n_channels);
+    }
+    // Windows are one lookahead (~ms) wide, so folding every barrier
+    // would pay the O(shards + grid) sweep ~10^5 times; a ~1-second
+    // stride keeps the backlog small (one second of closed records and
+    // trace) at ~duration-in-seconds folds per run.
+    fold_stride_ = std::max<sim::Duration>(sim::seconds(1), sim::milliseconds(1));
+    kernel_.set_window_hook([this](sim::SimTime frontier) { on_window(frontier); });
+  }
 }
 
 // -- scheduling ------------------------------------------------------------
@@ -469,7 +544,7 @@ void ShardedWorld::schedule_delivery(LinkId lid, CellId from, CellId to,
   key.owner = to;
   key.klass = sim::kClassDelivery;
   key.sub = from;
-  key.seq = ++state_of(from).link_seq[static_cast<std::size_t>(lid)];
+  key.seq = ++state_of(from).link_seq[tx_rank_[static_cast<std::size_t>(lid)]];
   (void)schedule_key(key, std::forward<F>(fn));
 }
 
@@ -556,7 +631,7 @@ void ShardedWorld::submit_call(std::uint64_t serial, CellId c,
 
 sim::RngStream& ShardedWorld::link_rng(ShardState& st, LinkId lid,
                                        const LinkKey& link) {
-  auto& slot = st.fault_rng[static_cast<std::size_t>(lid)];
+  auto& slot = st.fault_rng[tx_rank_[static_cast<std::size_t>(lid)]];
   if (!slot) {
     // Stream derivation is a pure function of (seed, endpoints), so lazy
     // construction draws the exact sequence an eager table would.
@@ -600,6 +675,17 @@ void ShardedWorld::net_send(int s, net::Message msg) {
     // until the message lands — the legacy observer counts it as
     // unattributable, so we must too.
     st.collector.on_message(msg);  // counts it as unattributable
+  } else if (streaming_) {
+    // Streaming attribution: a flat count per serial, summed across
+    // shards at run end. No knows()/foreign-bill routing — the tally is
+    // attribution-exact wherever the bill lands, and it stays correct
+    // for bills arriving after the record was folded out of the engine.
+    if (traffic::mobility::hop_of(msg.serial) > 0) {
+      ++st.msg_tally_hop[msg.serial];
+    } else {
+      assert(msg.serial <= serial_cell_.size());
+      ++st.msg_tally_base[static_cast<std::size_t>(msg.serial - 1)];
+    }
   } else if (traffic::mobility::hop_of(msg.serial) > 0) {
     // Migrated leg: the record lives on whichever shard the handoff
     // landed on, which is not computable from the serial alone. Exactly
@@ -628,7 +714,7 @@ void ShardedWorld::net_send(int s, net::Message msg) {
   const LinkId lid = links_.require(msg.from, msg.to);
   const sim::Duration d = latency_->link_delay(lid, msg.from, msg.to);
   sim::SimTime when = kernel_.now(s) + (d > 0 ? d : 0);
-  sim::SimTime& floor_time = st.link_clock[static_cast<std::size_t>(lid)];
+  sim::SimTime& floor_time = st.link_clock[tx_rank_[static_cast<std::size_t>(lid)]];
   if (when < floor_time) when = floor_time;
   floor_time = when;
   schedule_delivery(lid, msg.from, msg.to, when,
@@ -638,7 +724,8 @@ void ShardedWorld::net_send(int s, net::Message msg) {
 void ShardedWorld::transport_send(int s, net::Message msg) {
   const LinkKey link{msg.from, msg.to};
   const LinkId lid = links_.require(link.first, link.second);
-  LinkTx& tx = states_[static_cast<std::size_t>(s)].tx[static_cast<std::size_t>(lid)];
+  LinkTx& tx = states_[static_cast<std::size_t>(s)]
+                   .tx[tx_rank_[static_cast<std::size_t>(lid)]];
   const std::uint64_t seq = tx.next_seq++;
   tx.pending.insert(seq).msg = std::move(msg);
   transmit(s, link, seq);
@@ -654,7 +741,7 @@ void ShardedWorld::arm_rto(int s, const LinkKey& link, std::uint64_t seq) {
   ShardState& st = states_[static_cast<std::size_t>(s)];
   const LinkId lid = links_.require(link.first, link.second);
   PendingFrame* f =
-      st.tx[static_cast<std::size_t>(lid)].pending.find(seq);
+      st.tx[tx_rank_[static_cast<std::size_t>(lid)]].pending.find(seq);
   assert(f != nullptr && "arming an RTO for a frame not in the window");
   auto cb = [this, s, link, seq]() { on_rto(s, link, seq); };
   static_assert(sim::EventFn::fits_inline<decltype(cb)>(),
@@ -667,7 +754,7 @@ void ShardedWorld::on_rto(int s, const LinkKey& link, std::uint64_t seq) {
   ShardState& st = states_[static_cast<std::size_t>(s)];
   const LinkId lid = links_.require(link.first, link.second);
   PendingFrame* f =
-      st.tx[static_cast<std::size_t>(lid)].pending.find(seq);
+      st.tx[tx_rank_[static_cast<std::size_t>(lid)]].pending.find(seq);
   if (f == nullptr) return;  // acked in the meantime
   f->timer = sim::kInvalidEventId;
   ++f->attempts;
@@ -687,7 +774,7 @@ void ShardedWorld::transmit(int s, const LinkKey& link, std::uint64_t seq) {
     return;  // lost in flight; the RTO will resend it
   }
   const PendingFrame* f =
-      st.tx[static_cast<std::size_t>(lid)].pending.find(seq);
+      st.tx[tx_rank_[static_cast<std::size_t>(lid)]].pending.find(seq);
   assert(f != nullptr && "transmitting a frame not in the window");
   const net::Message& msg = f->msg;
   int copies = 1;
@@ -716,7 +803,7 @@ void ShardedWorld::on_data_frame(const LinkKey& link, std::uint64_t seq,
   // construction, so this reference stays valid across node deliveries.
   ShardState& st = state_of(link.second);
   const LinkId lid = links_.require(link.first, link.second);
-  LinkRx& rx = st.rx[static_cast<std::size_t>(lid)];
+  LinkRx& rx = st.rx[rx_rank_[static_cast<std::size_t>(lid)]];
   if (seq >= rx.next_expected) {
     if (!rx.reorder.contains(seq)) rx.reorder.insert(seq) = msg;
     while (net::Message* next = rx.reorder.find(rx.next_expected)) {
@@ -751,7 +838,7 @@ void ShardedWorld::send_ack(const LinkKey& data_link, std::uint64_t cumulative) 
     // prefix reproduces the legacy ordered-map prefix erase exactly.
     ShardState& sst = state_of(data_link.first);
     const LinkId lid = links_.require(data_link.first, data_link.second);
-    LinkTx& tx = sst.tx[static_cast<std::size_t>(lid)];
+    LinkTx& tx = sst.tx[tx_rank_[static_cast<std::size_t>(lid)]];
     while (tx.lowest_unacked <= cumulative &&
            tx.lowest_unacked < tx.next_seq) {
       PendingFrame* f = tx.pending.find(tx.lowest_unacked);
@@ -1056,51 +1143,148 @@ bool ShardedWorld::quiescent() const {
   return true;
 }
 
-RunResult ShardedWorld::result(sim::TraceRecorder* trace_out) {
-  RunResult out;
-  out.scheme = scheme_;
+// Streaming fold: runs inside the kernel's window hook, on exactly one
+// worker while the others are parked at the barrier. Window monotonicity
+// gives the correctness argument: every event executed so far fired at
+// when < frontier, so every closed record has t_decision < frontier and
+// every buffered trace entry has t < frontier — the drains below take
+// *complete* per-shard buffers, and everything a later fold drains is
+// >= this frontier. Per-batch canonical sorting + concatenation across
+// folds therefore reproduces the end-of-run global merge exactly.
+void ShardedWorld::on_window(sim::SimTime frontier) {
+  if (frontier < next_fold_) return;
+  next_fold_ = frontier + fold_stride_;
+  fold_to(frontier);
+}
 
-  // Canonical record merge: concatenate per shard (each shard's records
-  // are in its execution order), stable-sort by (decision time, cell).
-  // Equal keys only ever come from the same shard — a cell closes all its
-  // records on its own shard — so stability reproduces the global
-  // canonical close order exactly.
-  std::vector<metrics::CallRecord> merged;
-  std::size_t total_records = 0;
-  for (const ShardState& st : states_) total_records += st.collector.records().size();
-  merged.reserve(total_records);
-  for (const ShardState& st : states_) {
-    const auto& recs = st.collector.records();
-    merged.insert(merged.end(), recs.begin(), recs.end());
+void ShardedWorld::fold_to(sim::SimTime frontier) {
+  // Records: same comparator as the buffered merge; equal (t_decision,
+  // cell) keys always share a shard, so stable sort reproduces the
+  // canonical close order within the batch.
+  std::vector<metrics::CallRecord> batch;
+  for (ShardState& st : states_) {
+    std::vector<metrics::CallRecord> part =
+        st.collector.drain_closed_before(frontier);
+    batch.insert(batch.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
   }
-  std::stable_sort(merged.begin(), merged.end(),
-                   [](const metrics::CallRecord& a, const metrics::CallRecord& b) {
-                     return a.t_decision != b.t_decision
-                                ? a.t_decision < b.t_decision
-                                : a.cellId < b.cellId;
-                   });
-
-  // Apply foreign billing logs (messages observed on a shard that does
-  // not own the serial's record).
-  std::unordered_map<std::uint64_t, std::size_t> by_serial;
-  by_serial.reserve(merged.size());
-  for (std::size_t i = 0; i < merged.size(); ++i) by_serial.emplace(merged[i].serial, i);
-  for (const ShardState& st : states_) {
-    for (const auto& [serial, kind] : st.foreign_bills) {
-      const auto it = by_serial.find(serial);
-      assert(it != by_serial.end());
-      if (it != by_serial.end()) {
-        ++merged[it->second].messages[static_cast<std::size_t>(kind)];
+  if (!batch.empty()) {
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const metrics::CallRecord& a, const metrics::CallRecord& b) {
+                       return a.t_decision != b.t_decision
+                                  ? a.t_decision < b.t_decision
+                                  : a.cellId < b.cellId;
+                     });
+    // Neighbour samples need timeline entries at or before each close —
+    // resolve them *before* pruning.
+    flags_.apply_neighbor_samples(grid_, batch);
+    for (const metrics::CallRecord& r : batch) {
+      if (builder_->add_core(r)) {
+        fold_order_.emplace_back(
+            r.serial, metrics::AggregateBuilder::acquired_outcome(r.outcome));
       }
     }
   }
+  // Every remaining record closes at >= frontier, so the earliest future
+  // flags query bounds at frontier - 1; prune_before keeps exactly the
+  // suffix those queries can resolve.
+  flags_.prune_before(frontier);
 
-  // Reconstruct the deferred neighbour samples from the flag timelines
-  // (shared convention with the classic engine, see flag_timeline.hpp).
-  flags_.apply_neighbor_samples(grid_, merged);
+  if (tracing_) {
+    std::vector<sim::TraceEvent> events;
+    std::size_t total = 0;
+    for (const ShardState& st : states_) total += st.trace.size();
+    events.reserve(total);
+    for (ShardState& st : states_) {
+      events.insert(events.end(), st.trace.begin(), st.trace.end());
+      st.trace.clear();
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const sim::TraceEvent& a, const sim::TraceEvent& b) {
+                       return a.t != b.t ? a.t < b.t : a.cell < b.cell;
+                     });
+    for (const sim::TraceEvent& e : events) {
+      if (conform_) conform_->feed(e);
+      trace_->emit(e);
+    }
+  }
+}
 
-  out.agg = metrics::aggregate_records(merged, latency_->max_one_way(),
-                                       config_.warmup);
+RunResult ShardedWorld::result() {
+  RunResult out;
+  out.scheme = scheme_;
+
+  if (streaming_) {
+    // Drain whatever closed after the last stride fold (the quiescence
+    // tail runs past `duration`, so use an unbounded frontier), then
+    // merge the per-shard message tallies by summation and replay the two
+    // deferred message Summaries in fold order — the only Summaries whose
+    // inputs (final per-serial totals) are unknown at fold time.
+    fold_to(sim::kTimeNever);
+    ShardState& acc = states_.front();
+    for (std::size_t s = 1; s < states_.size(); ++s) {
+      const ShardState& st = states_[s];
+      for (std::size_t i = 0; i < st.msg_tally_base.size(); ++i) {
+        acc.msg_tally_base[i] += st.msg_tally_base[i];
+      }
+      for (const auto& [serial, count] : st.msg_tally_hop) {
+        acc.msg_tally_hop[serial] += count;
+      }
+    }
+    for (const auto& [serial, acquired] : fold_order_) {
+      std::uint32_t total = 0;
+      if (traffic::mobility::hop_of(serial) > 0) {
+        const auto it = acc.msg_tally_hop.find(serial);
+        if (it != acc.msg_tally_hop.end()) total = it->second;
+      } else {
+        total = acc.msg_tally_base[static_cast<std::size_t>(serial - 1)];
+      }
+      builder_->add_messages(total, acquired);
+    }
+    out.agg = builder_->finish();
+  } else {
+    // Canonical record merge: concatenate per shard (each shard's records
+    // are in its execution order), stable-sort by (decision time, cell).
+    // Equal keys only ever come from the same shard — a cell closes all its
+    // records on its own shard — so stability reproduces the global
+    // canonical close order exactly.
+    std::vector<metrics::CallRecord> merged;
+    std::size_t total_records = 0;
+    for (const ShardState& st : states_) total_records += st.collector.records().size();
+    merged.reserve(total_records);
+    for (const ShardState& st : states_) {
+      const auto& recs = st.collector.records();
+      merged.insert(merged.end(), recs.begin(), recs.end());
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const metrics::CallRecord& a, const metrics::CallRecord& b) {
+                       return a.t_decision != b.t_decision
+                                  ? a.t_decision < b.t_decision
+                                  : a.cellId < b.cellId;
+                     });
+
+    // Apply foreign billing logs (messages observed on a shard that does
+    // not own the serial's record).
+    std::unordered_map<std::uint64_t, std::size_t> by_serial;
+    by_serial.reserve(merged.size());
+    for (std::size_t i = 0; i < merged.size(); ++i) by_serial.emplace(merged[i].serial, i);
+    for (const ShardState& st : states_) {
+      for (const auto& [serial, kind] : st.foreign_bills) {
+        const auto it = by_serial.find(serial);
+        assert(it != by_serial.end());
+        if (it != by_serial.end()) {
+          ++merged[it->second].messages[static_cast<std::size_t>(kind)];
+        }
+      }
+    }
+
+    // Reconstruct the deferred neighbour samples from the flag timelines
+    // (shared convention with the classic engine, see flag_timeline.hpp).
+    flags_.apply_neighbor_samples(grid_, merged);
+
+    out.agg = metrics::aggregate_records(merged, latency_->max_one_way(),
+                                         config_.warmup);
+  }
 
   std::int64_t usage = 0;
   for (const ShardState& st : states_) {
@@ -1128,22 +1312,25 @@ RunResult ShardedWorld::result(sim::TraceRecorder* trace_out) {
   out.executed_events = kernel_.executed();
   out.quiescent = quiescent();
 
-  if (trace_out != nullptr) {
-    // Canonical trace merge — the same argument as the record merge:
-    // every event is emitted on shard_of(event.cell), so equal (t, cell)
-    // keys share a shard and stable sort preserves their execution order.
-    std::vector<sim::TraceEvent> events;
-    std::size_t total_events = 0;
-    for (const ShardState& st : states_) total_events += st.trace.size();
-    events.reserve(total_events + 1);
-    for (const ShardState& st : states_) {
-      events.insert(events.end(), st.trace.begin(), st.trace.end());
+  if (trace_ != nullptr) {
+    if (!streaming_) {
+      // Canonical trace merge — the same argument as the record merge:
+      // every event is emitted on shard_of(event.cell), so equal (t, cell)
+      // keys share a shard and stable sort preserves their execution order.
+      // (Streaming mode already emitted everything through fold_to.)
+      std::vector<sim::TraceEvent> events;
+      std::size_t total_events = 0;
+      for (const ShardState& st : states_) total_events += st.trace.size();
+      events.reserve(total_events + 1);
+      for (const ShardState& st : states_) {
+        events.insert(events.end(), st.trace.begin(), st.trace.end());
+      }
+      std::stable_sort(events.begin(), events.end(),
+                       [](const sim::TraceEvent& a, const sim::TraceEvent& b) {
+                         return a.t != b.t ? a.t < b.t : a.cell < b.cell;
+                       });
+      for (const sim::TraceEvent& e : events) trace_->emit(e);
     }
-    std::stable_sort(events.begin(), events.end(),
-                     [](const sim::TraceEvent& a, const sim::TraceEvent& b) {
-                       return a.t != b.t ? a.t < b.t : a.cell < b.cell;
-                     });
-    for (const sim::TraceEvent& e : events) trace_out->emit(e);
     std::size_t open = 0;
     for (const ShardState& st : states_) open += st.active.size();
     sim::TraceEvent end;
@@ -1151,7 +1338,16 @@ RunResult ShardedWorld::result(sim::TraceRecorder* trace_out) {
     end.t = kernel_.max_now();
     end.a = out.quiescent ? 1 : 0;
     end.b = static_cast<std::int64_t>(open);
-    trace_out->emit(end);
+    if (conform_) conform_->feed(end);
+    trace_->emit(end);
+  }
+  if (conform_) {
+    const ConformanceReport rep = conform_->finish();
+    out.conformance_checked = true;
+    out.conformance_violations = rep.violations.size();
+    if (!rep.ok()) {
+      std::fprintf(stderr, "[conformance] %s\n", rep.to_string().c_str());
+    }
   }
   return out;
 }
@@ -1161,9 +1357,9 @@ RunResult ShardedWorld::result(sim::TraceRecorder* trace_out) {
 RunResult run_profile_sharded(const ScenarioConfig& config, Scheme scheme,
                               const traffic::LoadProfile& profile,
                               sim::TraceRecorder* trace) {
-  ShardedWorld world(config, scheme, profile, trace != nullptr);
+  ShardedWorld world(config, scheme, profile, trace);
   world.run();
-  return world.result(trace);
+  return world.result();
 }
 
 }  // namespace dca::runner

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "sim/cpuset.hpp"
+
 namespace dca::sim {
 
 thread_local int ShardedKernel::tls_current_shard_ = -1;
@@ -135,6 +137,7 @@ void ShardedKernel::window_barrier_completion() {
   // Runs on exactly one (unspecified) worker while all others are parked at
   // the barrier, so plain writes to scheduler state are safe and the
   // barrier's release publishes them.
+  if (window_hook_) window_hook_(window_cap_);
   parity_ = 1 - parity_;
   claim_.store(0, std::memory_order_relaxed);
 
@@ -193,7 +196,12 @@ void ShardedKernel::run_until(SimTime deadline) {
       window_barrier_completion();
     });
 
-    auto work = [this, &barrier]() {
+    const std::vector<int> cpus = pin_threads_ ? allowed_cpus() : std::vector<int>{};
+
+    auto work = [this, &barrier, &cpus](int worker) {
+      if (!cpus.empty()) {
+        pin_current_thread(cpus[static_cast<std::size_t>(worker) % cpus.size()]);
+      }
       for (;;) {
         int s;
         while ((s = claim_.fetch_add(1, std::memory_order_relaxed)) <
@@ -205,10 +213,13 @@ void ShardedKernel::run_until(SimTime deadline) {
       }
     };
 
+    // The calling thread doubles as worker 0; give it back its original
+    // affinity once the pool winds down.
+    ThreadAffinityGuard restore_caller;
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(n_threads_ - 1));
-    for (int i = 1; i < n_threads_; ++i) pool.emplace_back(work);
-    work();
+    for (int i = 1; i < n_threads_; ++i) pool.emplace_back(work, i);
+    work(0);
     for (std::thread& t : pool) t.join();
     running_ = false;
   }

@@ -36,6 +36,7 @@
 #include <cassert>
 #include <compare>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/event_store.hpp"
@@ -221,6 +222,24 @@ class ShardedKernel {
   /// Cancels a same-shard event by its owner cell and handle.
   void cancel(std::int32_t owner, EventId id);
 
+  /// Installs a callback invoked at every window barrier with the
+  /// completed window's cap F: every event with when < F has executed,
+  /// everything still pending fires at >= F. Runs on exactly one worker
+  /// while the others are parked at the barrier, so it may safely touch
+  /// any simulation state (the streaming engine folds metrics here). Must
+  /// not throw and should early-out cheaply — there is one barrier per
+  /// lookahead interval, i.e. easily 10^5 calls per long run.
+  void set_window_hook(std::function<void(SimTime)> hook) {
+    window_hook_ = std::move(hook);
+  }
+
+  /// Pin worker threads to distinct allowed CPUs for the next run_until
+  /// (worker i -> i-th CPU of the process affinity mask, round-robin).
+  /// Results are identical either way; this only stabilizes wall-clock.
+  /// No-op on platforms without affinity syscalls.
+  void set_pin_threads(bool pin) noexcept { pin_threads_ = pin; }
+  [[nodiscard]] bool pin_threads() const noexcept { return pin_threads_; }
+
   /// Executes every event with when <= deadline (windowed, in parallel),
   /// then advances all shard clocks to the deadline.
   void run_until(SimTime deadline);
@@ -267,6 +286,9 @@ class ShardedKernel {
   // drain 1 - parity_. The barrier completion flips parity.
   std::vector<std::vector<OutboxEntry>> outbox_[2];
   int parity_ = 0;
+
+  std::function<void(SimTime)> window_hook_;
+  bool pin_threads_ = false;
 
   bool running_ = false;     // inside run_until's worker phase
   SimTime deadline_ = kTimeNever;

@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -83,11 +85,28 @@ struct TraceEvent {
 /// serialization to JSONL happens only when the runner flushes the trace.
 /// events() materializes a contiguous snapshot lazily (cached until the
 /// next emit), keeping the flush/compare API a plain vector.
+///
+/// Sink mode: set_sink() reroutes every emit to a callback instead of the
+/// buffer — the streaming engine hands events over in canonical order as
+/// they become final, so a sink can spill them (JSONL to a stream) or
+/// discard them without the recorder ever holding the full run. A sinked
+/// recorder stays empty: size() counts forwarded events, events() is
+/// whatever was buffered before the sink was installed.
 class TraceRecorder {
  public:
   static constexpr std::size_t kChunkEvents = 4096;
 
+  using Sink = std::function<void(const TraceEvent&)>;
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  [[nodiscard]] bool has_sink() const { return static_cast<bool>(sink_); }
+
   void emit(const TraceEvent& e) {
+    if (sink_) {
+      sink_(e);
+      ++count_;
+      return;
+    }
     if (fill_ == kChunkEvents) grow();
     chunks_.back()[fill_++] = e;
     ++count_;
@@ -124,6 +143,7 @@ class TraceRecorder {
     fill_ = 0;
   }
 
+  Sink sink_;
   std::vector<std::unique_ptr<TraceEvent[]>> chunks_;
   std::size_t fill_ = kChunkEvents;  // slots used in the tail chunk
   std::size_t count_ = 0;

@@ -82,6 +82,10 @@ int main(int argc, char** argv) {
       .add_int("threads", 0, "sharded-engine workers (0 = one per shard)")
       .add_string("partition", "blocks",
                   "cell->shard map: blocks (hex blocks) | striped (cell % shards)")
+      .add_flag("pin", "pin sharded-engine workers to distinct CPUs (Linux)")
+      .add_flag("stream-metrics",
+                "fold metrics/trace out of the engine at window barriers "
+                "(bounded memory; uses the sharded engine even at shards 1)")
       .add_double("fade-prob", 0.0, "radio: per-(cell,channel) fade probability")
       .add_double("fade-bucket-ms", 1000.0, "radio: fade coherence time [ms]")
       .add_string("config", "", "scenario file applied before other options")
@@ -179,6 +183,9 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (no_file || args.was_set("pin")) cfg.pin = args.get_flag("pin");
+  if (no_file || args.was_set("stream-metrics"))
+    cfg.stream_metrics = args.get_flag("stream-metrics");
   if (use("fade-prob")) cfg.radio_fade_prob = args.get_double("fade-prob");
   if (use("fade-bucket-ms"))
     cfg.radio_fade_bucket =
@@ -266,6 +273,28 @@ int main(int argc, char** argv) {
     sim::TraceRecorder rec;
     sim::TraceRecorder* trace =
         (conformance || !trace_path.empty()) ? &rec : nullptr;
+    // Streaming mode never buffers the trace: spill it to the JSONL file
+    // as the engine folds it out (same line schema as trace_to_jsonl), or
+    // discard it when only the in-engine conformance replay needs it.
+    std::FILE* spill = nullptr;
+    if (cfg.stream_metrics && trace != nullptr) {
+      if (!trace_path.empty()) {
+        std::string path = trace_path;
+        if (schemes.size() > 1) path += "." + runner::scheme_name(s);
+        spill = std::fopen(path.c_str(), "w");
+        if (spill == nullptr) {
+          std::fprintf(stderr, "dcasim: cannot write %s\n", path.c_str());
+          return 2;
+        }
+        rec.set_sink([spill](const sim::TraceEvent& e) {
+          const std::string line = runner::trace_event_to_json(e);
+          std::fwrite(line.data(), 1, line.size(), spill);
+          std::fputc('\n', spill);
+        });
+      } else {
+        rec.set_sink([](const sim::TraceEvent&) {});
+      }
+    }
     if (hotspot) {
       cell::CellId hot = static_cast<cell::CellId>(args.get_int("hot-cell"));
       if (hot < 0) hot = (cfg.rows / 2) * cfg.cols + cfg.cols / 2;
@@ -274,7 +303,8 @@ int main(int argc, char** argv) {
     } else {
       r = runner::run_uniform(cfg, s, rho, trace);
     }
-    if (!trace_path.empty()) {
+    if (spill != nullptr) std::fclose(spill);
+    if (!trace_path.empty() && !cfg.stream_metrics) {
       // One file per scheme; the scheme name is appended when several run.
       std::string path = trace_path;
       if (schemes.size() > 1) path += "." + runner::scheme_name(s);
@@ -288,13 +318,23 @@ int main(int argc, char** argv) {
       std::fclose(f);
     }
     if (conformance) {
-      const cell::HexGrid grid(cfg.rows, cfg.cols, cfg.interference_radius,
-                               cfg.wrap);
-      const runner::ConformanceReport rep =
-          runner::check_trace(grid, cfg.n_channels, rec.events());
-      std::fprintf(stderr, "%s: conformance: %s\n",
-                   runner::scheme_name(s).c_str(), rep.to_string().c_str());
-      if (!rep.ok()) return 1;
+      if (cfg.stream_metrics) {
+        // The engine already replayed the streamed trace through the
+        // checker; the buffered events are gone (spilled or discarded).
+        std::fprintf(stderr, "%s: conformance: %s (%llu violations, in-engine)\n",
+                     runner::scheme_name(s).c_str(),
+                     r.conformance_ok() ? "OK" : "FAILED",
+                     static_cast<unsigned long long>(r.conformance_violations));
+        if (!r.conformance_ok()) return 1;
+      } else {
+        const cell::HexGrid grid(cfg.rows, cfg.cols, cfg.interference_radius,
+                                 cfg.wrap);
+        const runner::ConformanceReport rep =
+            runner::check_trace(grid, cfg.n_channels, rec.events());
+        std::fprintf(stderr, "%s: conformance: %s\n",
+                     runner::scheme_name(s).c_str(), rep.to_string().c_str());
+        if (!rep.ok()) return 1;
+      }
     }
     char xi[48];
     std::snprintf(xi, sizeof xi, "%.2f/%.2f/%.2f", r.agg.xi1, r.agg.xi2,
@@ -340,6 +380,8 @@ int main(int argc, char** argv) {
     json.value(r.violations);
     json.key("quiescent");
     json.value(r.quiescent);
+    json.key("peak_rss_bytes");
+    json.value(r.peak_rss_bytes);
     json.end_object();
     if (r.violations != 0) {
       std::fprintf(stderr, "dcasim: INTERFERENCE VIOLATIONS DETECTED\n");
