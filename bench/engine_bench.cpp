@@ -482,6 +482,52 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(mr.handoffs_offered));
   }
 
+  // Crash-recovery overhead: the bench scenario with the crash fault model
+  // on (stations failing ~1/min, cold restarts, resync), classic vs
+  // sharded. Alongside throughput the trajectory records the availability
+  // metrics — uptime fraction and mean time-to-resync — so a protocol
+  // change that slows recovery shows up run over run.
+  dca::benchutil::heading("crash-recovery: events/sec and availability");
+  struct CrashRun {
+    int shards = 1;
+    double wall_s = 0.0;
+    std::uint64_t events = 0;
+    double events_per_sec = 0.0;
+    std::uint64_t crashes = 0;
+    double uptime_fraction = 1.0;
+    double mttr_s = 0.0;
+    std::uint64_t violations = 0;
+  };
+  std::vector<CrashRun> crash_runs;
+  for (const int shards : {1, shards_n}) {
+    dca::runner::ScenarioConfig kc = bench_config();
+    kc.fault.crash_rate_per_min = 1.0;
+    kc.fault.crash_mean_s = 2.0;
+    kc.shards = shards;
+    kc.threads = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunResult r = dca::runner::run_uniform(kc, Scheme::kAdaptive, rho);
+    const auto t1 = std::chrono::steady_clock::now();
+    CrashRun cr;
+    cr.shards = shards;
+    cr.wall_s = std::chrono::duration<double>(t1 - t0).count();
+    cr.events = r.executed_events;
+    cr.events_per_sec =
+        cr.wall_s > 0 ? static_cast<double>(cr.events) / cr.wall_s : 0.0;
+    cr.crashes = r.availability.crashes;
+    cr.uptime_fraction =
+        r.availability.uptime_fraction(kc.duration, kc.rows * kc.cols);
+    cr.mttr_s = r.availability.mean_time_to_resync_s();
+    cr.violations = r.violations;
+    crash_runs.push_back(cr);
+    std::printf("  adaptive+crashes shards=%d  %9.3f s  %12.0f ev/s  "
+                "crashes=%llu uptime=%.4f mttr=%.2fs violations=%llu\n",
+                shards, cr.wall_s, cr.events_per_sec,
+                static_cast<unsigned long long>(cr.crashes),
+                cr.uptime_fraction, cr.mttr_s,
+                static_cast<unsigned long long>(cr.violations));
+  }
+
   // Multi-core scaling curve: the same scenario across shards x threads,
   // workers pinned to distinct allowed CPUs. Results are bit-identical at
   // every point (the determinism contract), so only wall-clock moves; the
@@ -658,6 +704,38 @@ int main(int argc, char** argv) {
     w.value(mr.handoff_messages);
     w.key("handoffs_offered");
     w.value(mr.handoffs_offered);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.key("crash_recovery");
+  w.begin_object();
+  w.key("scheme");
+  w.value("adaptive");
+  w.key("crash_rate_per_min");
+  w.value(1.0);
+  w.key("crash_mean_s");
+  w.value(2.0);
+  w.key("runs");
+  w.begin_array();
+  for (const auto& cr : crash_runs) {
+    w.begin_object();
+    w.key("shards");
+    w.value(cr.shards);
+    w.key("wall_s");
+    w.value(cr.wall_s);
+    w.key("events");
+    w.value(cr.events);
+    w.key("events_per_sec");
+    w.value(cr.events_per_sec);
+    w.key("crashes");
+    w.value(cr.crashes);
+    w.key("uptime_fraction");
+    w.value(cr.uptime_fraction);
+    w.key("mean_time_to_resync_s");
+    w.value(cr.mttr_s);
+    w.key("violations");
+    w.value(cr.violations);
     w.end_object();
   }
   w.end_array();

@@ -779,7 +779,74 @@ void AdaptiveNode::send_use_reply(CellId to, std::uint64_t serial, net::ResType 
   env().send(resp);
 }
 
+// ---------------------------------------------------------------------------
+// Crash recovery
+// ---------------------------------------------------------------------------
+
+void AdaptiveNode::on_crash() {
+  req_.reset();
+  update_set_.clear();
+  defer_.clear();
+  awaiting_.clear();
+  for (std::size_t r = 0; r < known_use_.size(); ++r) {
+    known_use_[r].clear();
+    pending_grants_[r].clear();
+  }
+  // Wholesale cache reset is cheaper than unwinding claim by claim.
+  claim_count_.assign(static_cast<std::size_t>(spectrum_size()), 0);
+  interfered_cache_ = ChannelSet(spectrum_size());
+  borrowed_.clear();
+  nfc_.reset();
+  // Cold restart begins in local mode; neighbours drop us from their
+  // UpdateS when our kResyncReq arrives, and the resync replies rebuild
+  // ours. change_wave_ stays monotonic (like the Lamport clock) so stale
+  // pre-crash statuses can never be miscounted into a post-restart wave.
+  mode_ = 0;
+}
+
+void AdaptiveNode::on_peer_restart(CellId j) {
+  update_set_.erase(j);
+  awaiting_.erase(j);  // erases every entry of j
+  for (auto it = defer_.begin(); it != defer_.end();) {
+    it = it->from == j ? defer_.erase(it) : std::next(it);
+  }
+  if (const int r = nbr_rank(j); r >= 0) {
+    assign_known_use(j, ChannelSet(spectrum_size()));
+    const ChannelSet pg = pending_grants_[static_cast<std::size_t>(r)];
+    for (ChannelId c = pg.first(); c != kNoChannel; c = pg.next_after(c)) {
+      set_pending_grant(j, c, false);
+    }
+  }
+  // A grant, status, or reply j issued before crashing is void. Resolve
+  // any open phase exactly as its timeout would; a parked request only
+  // needs the resume check now that j's awaiting entries are gone.
+  if (req_.has_value()) {
+    if (req_->phase == Phase::kWaitQuiet) {
+      resume_if_quiet();
+    } else {
+      disarm_timer();
+      on_phase_timeout();
+    }
+  }
+}
+
+void AdaptiveNode::fill_resync_reply(net::Message& m) const {
+  m.mode = mode_ == 0 ? 0 : 1;
+}
+
+void AdaptiveNode::apply_resync_reply(const net::Message& msg) {
+  assign_known_use(msg.from, msg.use);
+  if (msg.mode != 0) update_set_.insert(msg.from);
+}
+
+void AdaptiveNode::on_resync_done() {
+  // Re-enter the mode machinery with the freshly learned region state;
+  // announces the switch to borrowing if the region is already congested.
+  check_mode();
+}
+
 void AdaptiveNode::on_message(const net::Message& msg) {
+  if (handle_resync(msg)) return;
   clock_.witness(msg.ts);
   switch (msg.kind) {
     case net::MsgKind::kRequest:

@@ -65,6 +65,9 @@ class NfcTracker {
     return s + static_cast<double>(horizon) * (s - last) / static_cast<double>(window_);
   }
 
+  /// Forget all history (crash recovery: NFC is volatile state).
+  void reset() { entries_.clear(); }
+
   [[nodiscard]] sim::Duration window() const noexcept { return window_; }
   [[nodiscard]] std::size_t samples() const noexcept { return entries_.size(); }
 

@@ -103,6 +103,10 @@ bool AggregateBuilder::add_core(const CallRecord& r) {
       ++a_.timed_out;
       if (r.is_handoff) ++a_.handoff_failures;
       return true;
+    case proto::Outcome::kBlockedDown:
+      ++a_.downed;
+      if (r.is_handoff) ++a_.handoff_failures;
+      return true;
   }
   ++a_.acquired;
   sum_borrowing_ += r.borrowing_neighbors;

@@ -59,6 +59,7 @@ struct Aggregate {
   std::uint64_t blocked = 0;       // no channel available
   std::uint64_t starved = 0;       // update retry cap exhausted
   std::uint64_t timed_out = 0;     // protocol round aborted by timeout
+  std::uint64_t downed = 0;        // arrival cell crashed or resyncing
   std::uint64_t handoff_offered = 0;   // requests that were handoffs
   std::uint64_t handoff_failures = 0;  // ... of which failed (forced term.)
 
@@ -74,9 +75,10 @@ struct Aggregate {
   Summary messages_acquired;  // ... among acquired only
 
   [[nodiscard]] double drop_rate() const noexcept {
-    return offered == 0 ? 0.0
-                        : static_cast<double>(blocked + starved + timed_out) /
-                              static_cast<double>(offered);
+    return offered == 0
+               ? 0.0
+               : static_cast<double>(blocked + starved + timed_out + downed) /
+                     static_cast<double>(offered);
   }
 };
 

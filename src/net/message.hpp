@@ -28,6 +28,8 @@ enum class MsgKind : std::uint8_t {
                  // cell mid-call; `serial` encodes (call, hop) and
                  // `ts.count` carries the call's absolute end instant.
                  // Handled by the runner, never by allocator nodes.
+  kResyncReq,    // RESYNC_REQ(j): j restarted cold and asks for state
+  kResyncReply,  // RESYNC_REPLY(j, Use_j, ...): per-scheme state snapshot
 };
 
 /// kTransfer sub-operation (the paper's TRANSFER / AGREE / KEEP / RELEASE
@@ -106,12 +108,14 @@ struct Message {
       case MsgKind::kAcquisition: return "ACQUISITION";
       case MsgKind::kTransfer: return "TRANSFER";
       case MsgKind::kHandoff: return "HANDOFF";
+      case MsgKind::kResyncReq: return "RESYNC_REQ";
+      case MsgKind::kResyncReply: return "RESYNC_REPLY";
     }
     return "?";
   }
 };
 
 /// Number of distinct MsgKind values (for counter arrays).
-inline constexpr int kNumMsgKinds = 7;
+inline constexpr int kNumMsgKinds = 9;
 
 }  // namespace dca::net

@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -14,16 +15,28 @@ Network::Network(sim::Simulator& simulator,
     latency_->bind_links(links_);
     held_.resize(static_cast<std::size_t>(grid->n_cells()));
     paused_.assign(static_cast<std::size_t>(grid->n_cells()), 0);
+    inbox_.resize(static_cast<std::size_t>(grid->n_cells()));
+    inbox_armed_.assign(static_cast<std::size_t>(grid->n_cells()), 0);
   }
   n_links_total_ = links_.n_links();
   link_clock_.assign(static_cast<std::size_t>(n_links_total_), 0);
+  send_seq_.assign(static_cast<std::size_t>(n_links_total_), 0);
+  // Inboxes drain at the end of each simulated instant, once every arrival
+  // event scheduled for that instant has been staged. Running the drain as
+  // a simulator hook (not as scheduled events) keeps executed() — the
+  // replay fingerprint — in one-to-one correspondence with the sharded
+  // kernel's event count.
+  sim_.set_instant_hook([this]() { flush_armed(); });
 }
+
+Network::~Network() { sim_.clear_instant_hook(); }
 
 LinkId Network::dynamic_link_id(cell::CellId from, cell::CellId to) {
   const auto [it, inserted] = extra_.try_emplace({from, to}, n_links_total_);
   if (inserted) {
     ++n_links_total_;
     link_clock_.push_back(0);
+    send_seq_.push_back(0);
     if (transport_) {
       tx_.emplace_back();
       rx_.emplace_back();
@@ -38,6 +51,17 @@ void Network::enable_faults(const FaultConfig& cfg, std::uint64_t seed) {
   fault_ = cfg;
   fault_seed_ = seed;
   transport_ = cfg.link_faults();
+  if (!fault_.partitions.empty()) {
+    std::size_t n = paused_.size();
+    for (const PartitionSpec& p : fault_.partitions) {
+      for (const cell::CellId c : p.cells) {
+        if (static_cast<std::size_t>(c) + 1 > n) {
+          n = static_cast<std::size_t>(c) + 1;
+        }
+      }
+    }
+    partitions_ = PartitionTimeline(fault_.partitions, static_cast<int>(n));
+  }
   if (transport_) {
     tx_.resize(static_cast<std::size_t>(n_links_total_));
     rx_.resize(static_cast<std::size_t>(n_links_total_));
@@ -69,18 +93,80 @@ void Network::send(Message msg) {
   const LinkId lid = link_id(msg.from, msg.to);
   const sim::Duration d = latency_->link_delay(lid, msg.from, msg.to);
   // FIFO per directed link: never deliver before an earlier send on the
-  // same link (ties break by scheduling order, which is send order).
+  // same link (same-instant ties resolve canonically in flush_inbox).
   sim::SimTime when = sim_.now() + (d > 0 ? d : 0);
   sim::SimTime& floor_time = link_clock_[static_cast<std::size_t>(lid)];
   if (when < floor_time) when = floor_time;
   floor_time = when;
-  auto deliver = [this, m = std::move(msg)]() { deliver_to_node(m); };
-  // The delivery closure (a full Message by value) is the hot-path event;
-  // it must stay inside EventFn's inline buffer or every send allocates.
-  static_assert(sim::EventFn::fits_inline<decltype(deliver)>(),
-                "Message delivery closure must fit EventFn's inline buffer; "
+  Arrival a;
+  a.from = msg.from;
+  a.to = msg.to;
+  a.msg = std::move(msg);
+  a.order = ++send_seq_[static_cast<std::size_t>(lid)];
+  a.type = Arrival::Type::kPlain;
+  schedule_arrival(when, std::move(a));
+}
+
+void Network::schedule_arrival(sim::SimTime when, Arrival a) {
+  auto ev = [this, a = std::move(a)]() { enqueue_arrival(a); };
+  // The arrival closure (a full Message by value plus the canonical
+  // ordering stamp) is the hot-path event; it must stay inside EventFn's
+  // inline buffer or every send allocates.
+  static_assert(sim::EventFn::fits_inline<decltype(ev)>(),
+                "Arrival closure must fit EventFn's inline buffer; "
                 "grow sim::kEventFnCapacity if Message grew");
-  sim_.schedule_at(when, std::move(deliver));
+  sim_.schedule_at(when, std::move(ev));
+}
+
+void Network::enqueue_arrival(const Arrival& a) {
+  ensure_cell(a.to);  // gridless tests: cells appear on first use
+  inbox_[static_cast<std::size_t>(a.to)].push_back(a);
+  if (inbox_armed_[static_cast<std::size_t>(a.to)] == 0) {
+    inbox_armed_[static_cast<std::size_t>(a.to)] = 1;
+    armed_.push_back(a.to);  // drained by flush_armed at instant end
+  }
+}
+
+void Network::flush_armed() {
+  if (armed_.empty()) return;
+  // Ascending cell order — the sharded kernel's owner-major canonical
+  // order for same-instant work on different cells. A flush can send at
+  // zero latency and re-arm an inbox; those arrivals pop as fresh events
+  // at the same instant and drain on the next hook invocation.
+  std::sort(armed_.begin(), armed_.end());
+  flushing_.swap(armed_);
+  for (const cell::CellId to : flushing_) flush_inbox(to);
+  flushing_.clear();
+}
+
+void Network::flush_inbox(cell::CellId to) {
+  inbox_armed_[static_cast<std::size_t>(to)] = 0;
+  std::vector<Arrival> batch;
+  batch.swap(inbox_[static_cast<std::size_t>(to)]);
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const Arrival& x, const Arrival& y) {
+                     return x.from != y.from ? x.from < y.from
+                                             : x.order < y.order;
+                   });
+  for (const Arrival& a : batch) {
+    switch (a.type) {
+      case Arrival::Type::kPlain:
+        deliver_to_node(a.msg);
+        break;
+      case Arrival::Type::kFrame:
+        on_data_frame({a.from, a.to}, a.seq, a.msg);
+        break;
+      case Arrival::Type::kAck:
+        process_ack({a.to, a.from}, a.seq);
+        break;
+    }
+  }
+  batch.clear();
+  // Hand the batch's capacity back unless a zero-latency send re-armed
+  // the inbox while we were flushing.
+  if (inbox_[static_cast<std::size_t>(to)].empty()) {
+    inbox_[static_cast<std::size_t>(to)].swap(batch);
+  }
 }
 
 // -- reliable transport over the lossy link ------------------------------
@@ -152,6 +238,14 @@ void Network::on_rto(const LinkKey& link, std::uint64_t seq) {
 
 void Network::transmit(const LinkKey& link, std::uint64_t seq) {
   sim::RngStream& rng = link_rng(link);
+  // Partition cut: checked before any RNG draw so the per-link stream
+  // advances identically whether or not a partition is configured.
+  if (fault_.has_partitions() &&
+      partitions_.severed(link.first, link.second, sim_.now())) {
+    ++tstats_.frames_dropped;
+    record(sim::TraceKind::kDrop, link, seq, -1);
+    return;  // severed; the RTO resends until the partition heals
+  }
   if (fault_.drop_prob > 0 && rng.bernoulli(fault_.drop_prob)) {
     ++tstats_.frames_dropped;
     record(sim::TraceKind::kDrop, link, seq);
@@ -173,11 +267,14 @@ void Network::transmit(const LinkKey& link, std::uint64_t seq) {
     if (fault_.jitter > 0) d += rng.uniform_int(0, fault_.jitter);
     // No FIFO floor here: frame-level reordering is the injected fault.
     // The receive side resequences, so the protocol still sees FIFO.
-    auto frame = [this, link, seq, m = msg]() { on_data_frame(link, seq, m); };
-    static_assert(sim::EventFn::fits_inline<decltype(frame)>(),
-                  "Data-frame closure must fit EventFn's inline buffer; "
-                  "grow sim::kEventFnCapacity if Message grew");
-    sim_.schedule_in(d, std::move(frame));
+    Arrival a;
+    a.msg = msg;
+    a.order = ++send_seq_[static_cast<std::size_t>(lid)];
+    a.seq = seq;
+    a.from = link.first;
+    a.to = link.second;
+    a.type = Arrival::Type::kFrame;
+    schedule_arrival(sim_.now() + d, std::move(a));
   }
 }
 
@@ -212,6 +309,12 @@ void Network::send_ack(const LinkKey& data_link, std::uint64_t cumulative) {
   // The ack travels the reverse direction and faces the same lossy link.
   const LinkKey back{data_link.second, data_link.first};
   sim::RngStream& rng = link_rng(back);
+  if (fault_.has_partitions() &&
+      partitions_.severed(back.first, back.second, sim_.now())) {
+    ++tstats_.frames_dropped;
+    record(sim::TraceKind::kDrop, back, cumulative, -1);
+    return;
+  }
   if (fault_.drop_prob > 0 && rng.bernoulli(fault_.drop_prob)) {
     ++tstats_.frames_dropped;
     record(sim::TraceKind::kDrop, back, cumulative);
@@ -221,24 +324,28 @@ void Network::send_ack(const LinkKey& data_link, std::uint64_t cumulative) {
   sim::Duration d = latency_->link_delay(back_lid, back.first, back.second);
   if (d < 0) d = 0;
   if (fault_.jitter > 0) d += rng.uniform_int(0, fault_.jitter);
-  auto ack = [this, data_link, cumulative]() {
-    const LinkId lid = link_id(data_link.first, data_link.second);
-    LinkTx& tx = tx_[static_cast<std::size_t>(lid)];
-    // The window is the dense range [lowest_unacked, next_seq); acking a
-    // cumulative prefix walks it in ascending seq order, exactly like the
-    // old ordered-map prefix erase.
-    while (tx.lowest_unacked <= cumulative &&
-           tx.lowest_unacked < tx.next_seq) {
-      if (PendingFrame* f = tx.pending.find(tx.lowest_unacked)) {
-        if (f->timer != sim::kInvalidEventId) sim_.cancel(f->timer);
-        tx.pending.erase(tx.lowest_unacked);
-      }
-      ++tx.lowest_unacked;
+  Arrival a;
+  a.order = ++send_seq_[static_cast<std::size_t>(back_lid)];
+  a.seq = cumulative;
+  a.from = back.first;
+  a.to = back.second;
+  a.type = Arrival::Type::kAck;
+  schedule_arrival(sim_.now() + d, std::move(a));
+}
+
+void Network::process_ack(const LinkKey& data_link, std::uint64_t cumulative) {
+  const LinkId lid = link_id(data_link.first, data_link.second);
+  LinkTx& tx = tx_[static_cast<std::size_t>(lid)];
+  // The window is the dense range [lowest_unacked, next_seq); acking a
+  // cumulative prefix walks it in ascending seq order, exactly like the
+  // old ordered-map prefix erase.
+  while (tx.lowest_unacked <= cumulative && tx.lowest_unacked < tx.next_seq) {
+    if (PendingFrame* f = tx.pending.find(tx.lowest_unacked)) {
+      if (f->timer != sim::kInvalidEventId) sim_.cancel(f->timer);
+      tx.pending.erase(tx.lowest_unacked);
     }
-  };
-  static_assert(sim::EventFn::fits_inline<decltype(ack)>(),
-                "Ack closure must fit EventFn's inline buffer");
-  sim_.schedule_in(d, std::move(ack));
+    ++tx.lowest_unacked;
+  }
 }
 
 // -- pause / resume ------------------------------------------------------
@@ -247,6 +354,8 @@ void Network::ensure_cell(cell::CellId c) {
   const auto need = static_cast<std::size_t>(c) + 1;
   if (paused_.size() < need) paused_.resize(need, 0);
   if (held_.size() < need) held_.resize(need);
+  if (inbox_.size() < need) inbox_.resize(need);
+  if (inbox_armed_.size() < need) inbox_armed_.resize(need, 0);
 }
 
 void Network::pause(cell::CellId c) {

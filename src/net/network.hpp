@@ -77,6 +77,9 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  /// Unregisters the instant hook (the inbox drain) from the simulator.
+  ~Network();
+
   /// Installs the delivery callback (dispatches to msg.to's node).
   void set_receiver(DeliverFn fn) { deliver_ = std::move(fn); }
 
@@ -188,8 +191,40 @@ class Network {
   void on_data_frame(const LinkKey& link, std::uint64_t seq,
                      const Message& msg);
   void send_ack(const LinkKey& data_link, std::uint64_t cumulative);
+  void process_ack(const LinkKey& data_link, std::uint64_t cumulative);
   void arm_rto(const LinkKey& link, LinkId lid, std::uint64_t seq);
   [[nodiscard]] sim::Duration rto(int attempts) const;
+
+  // -- canonical arrival batching ---------------------------------------
+  // The sharded kernel executes same-instant deliveries at a receiver in
+  // canonical (source cell, per-link send seq) order; raw simulator
+  // insertion order agrees only by accident once timers start issuing
+  // messages (an RTO-resent frame is inserted long before a same-instant
+  // delivery-triggered one). Two same-instant operations on one directed
+  // link share a fault stream, so the processing order decides which draw
+  // each gets — it must be engine-invariant. Every inbound event (plain
+  // message, data frame, transport ack) is therefore staged into a
+  // per-receiver inbox and flushed once per (receiver, instant) in
+  // canonical order, mirroring the sharded engine's delivery keys. The
+  // drain runs from the simulator's end-of-instant hook — after the last
+  // event at each timestamp — so batching adds no simulator events and
+  // executed() stays comparable across engines.
+
+  struct Arrival {
+    enum class Type : std::uint8_t { kPlain, kFrame, kAck };
+    Message msg;          // kPlain / kFrame payload
+    std::uint64_t order;  // per-link send counter (the canonical seq)
+    std::uint64_t seq;    // frame seq (kFrame) or cumulative ack (kAck)
+    cell::CellId from;
+    cell::CellId to;
+    Type type;
+  };
+
+  /// Stages one arrival at `when` and arms the receiver's flush.
+  void schedule_arrival(sim::SimTime when, Arrival a);
+  void enqueue_arrival(const Arrival& a);
+  void flush_armed();  // instant-end hook body: drain all armed inboxes
+  void flush_inbox(cell::CellId to);
 
   /// Hands a fully-reassembled message to the node, or parks it if the
   /// destination MSS is paused.
@@ -215,13 +250,26 @@ class Network {
 
   // All per-link state below is indexed by LinkId. link_clock_ is the last
   // scheduled delivery per directed link (the FIFO floor), probed once per
-  // send.
+  // send. send_seq_ counts every scheduled delivery on the link (plain
+  // messages, frames, acks alike) — the same counter the sharded engine
+  // keys deliveries by, so both engines sort same-instant arrivals
+  // identically.
   std::vector<sim::SimTime> link_clock_;
+  std::vector<std::uint64_t> send_seq_;
   LinkId n_links_total_ = 0;  // table links + dynamic registrations
   std::unordered_map<LinkKey, LinkId, LinkHash> extra_;  // off-table pairs
 
+  // Per-receiver arrival staging (see "canonical arrival batching").
+  // armed_ lists the receivers with a non-empty inbox this instant;
+  // flushing_ is its drained-in-order scratch twin (capacity recycled).
+  std::vector<std::vector<Arrival>> inbox_;
+  std::vector<std::uint8_t> inbox_armed_;
+  std::vector<cell::CellId> armed_;
+  std::vector<cell::CellId> flushing_;
+
   // Fault layer.
   FaultConfig fault_;
+  PartitionTimeline partitions_;  // views fault_.partitions
   std::uint64_t fault_seed_ = 0;
   bool transport_ = false;  // per-frame faults on -> reliable transport
   sim::Duration rto_base_ = 0;

@@ -62,6 +62,7 @@ void AdvancedSearchNode::on_release(cell::ChannelId, std::uint64_t) {
 }
 
 void AdvancedSearchNode::on_message(const net::Message& msg) {
+  if (handle_resync(msg)) return;
   clock_.witness(msg.ts);
   switch (msg.kind) {
     case net::MsgKind::kRequest:
@@ -338,6 +339,60 @@ void AdvancedSearchNode::finish_with(cell::ChannelId r, Outcome how,
   } else {
     complete_blocked(s.serial, how, s.rounds);
   }
+}
+
+void AdvancedSearchNode::on_crash() {
+  // allocated_ is the cell's long-term ownership ledger — modelled as
+  // stable storage (like the Lamport clock). Everything else is volatile.
+  // Transfers that concluded while we are down are reconciled against the
+  // region's claims in apply_resync_reply.
+  search_.reset();
+  await_decision_.clear();
+  defer_.clear();
+  offered_.clear();
+  offered_to_.clear();
+  for (std::size_t r = 0; r < known_allocated_.size(); ++r) {
+    known_allocated_[r].clear();
+    known_busy_[r].clear();
+  }
+}
+
+void AdvancedSearchNode::on_peer_restart(cell::CellId j) {
+  // j forgot every transfer it was negotiating: un-reserve what we offered.
+  for (auto it = offered_to_.begin(); it != offered_to_.end();) {
+    if (it->second == j) {
+      offered_.erase(it->first);
+      it = offered_to_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  await_decision_.erase(j);
+  for (auto it = defer_.begin(); it != defer_.end();) {
+    it = it->from == j ? defer_.erase(it) : std::next(it);
+  }
+  if (const int r = nbr_rank(j); r >= 0) {
+    // j's calls were all torn down. Its allocated set only shrinks across
+    // a crash, so the stale claim view stays a safe over-approximation.
+    known_busy_[static_cast<std::size_t>(r)].clear();
+  }
+  // A reply or transfer agreement j issued before crashing is void:
+  // resolve any open search (and pending negotiation) via the timeout path.
+  if (search_.has_value()) abort_search();
+}
+
+void AdvancedSearchNode::fill_resync_reply(net::Message& m) const {
+  m.alloc = allocated_;
+}
+
+void AdvancedSearchNode::apply_resync_reply(const net::Message& m) {
+  if (const int r = nbr_rank(m.from); r >= 0) {
+    known_busy_[static_cast<std::size_t>(r)] = m.use;
+    known_allocated_[static_cast<std::size_t>(r)] = m.alloc;
+  }
+  // A transfer that concluded while we were down is decided in the
+  // claimant's favour: whatever the region now claims is not ours.
+  allocated_ -= m.alloc;
 }
 
 void AdvancedSearchNode::abort_search() {

@@ -75,6 +75,10 @@ class AdvancedSearchNode final : public AllocatorNode {
  protected:
   void start_request(std::uint64_t serial) override;
   void on_release(cell::ChannelId ch, std::uint64_t serial) override;
+  void on_crash() override;
+  void on_peer_restart(cell::CellId j) override;
+  void fill_resync_reply(net::Message& m) const override;
+  void apply_resync_reply(const net::Message& m) override;
   /// Instantly servable channels plus spectrum unallocated anywhere in the
   /// region (obtainable by a step-1 allocation without a transfer).
   [[nodiscard]] int admission_free_count() const override {

@@ -133,6 +133,7 @@ void AdvancedUpdateNode::on_release(cell::ChannelId ch, std::uint64_t serial) {
 }
 
 void AdvancedUpdateNode::on_message(const net::Message& msg) {
+  if (handle_resync(msg)) return;
   clock_.witness(msg.ts);
   switch (msg.kind) {
     case net::MsgKind::kRequest:
@@ -256,12 +257,41 @@ void AdvancedUpdateNode::conclude_attempt() {
   try_attempt(a.serial, a.round + 1);
 }
 
+void AdvancedUpdateNode::on_crash() {
+  attempt_.reset();
+  granters_.clear();
+  // Promises made before the crash are unrecoverable; the requesters
+  // holding them abort their rounds when our kResyncReq arrives.
+  promises_.clear();
+  for (std::size_t r = 0; r < known_use_.size(); ++r) known_use_[r].clear();
+}
+
+void AdvancedUpdateNode::on_peer_restart(cell::CellId j) {
+  if (const int r = nbr_rank(j); r >= 0) {
+    known_use_[static_cast<std::size_t>(r)].clear();
+  }
+  // Unlock every channel promised to j — it no longer remembers the grant.
+  for (auto it = promises_.begin(); it != promises_.end();) {
+    it = it->second.to == j ? promises_.erase(it) : std::next(it);
+  }
+  // A grant (or promise) j issued before crashing is void: resolve the
+  // open round through the timeout path before answering.
+  if (attempt_.has_value()) abort_attempt();
+}
+
+void AdvancedUpdateNode::apply_resync_reply(const net::Message& m) {
+  if (const int r = nbr_rank(m.from); r >= 0) {
+    known_use_[static_cast<std::size_t>(r)] = m.use;
+  }
+}
+
 void AdvancedUpdateNode::abort_attempt() {
   // Request timer expired with arbiter responses outstanding. Release the
   // channel at every arbiter we asked — a grant (and thus a promise) may
   // still be in flight, and per-link FIFO guarantees the REQUEST precedes
   // this RELEASE, so every promise gets cleaned up.
   assert(attempt_.has_value());
+  disarm_timer();  // also reachable from on_peer_restart, timer still armed
   const Attempt a = *attempt_;
   attempt_.reset();
   granters_.clear();

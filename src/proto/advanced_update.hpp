@@ -62,6 +62,9 @@ class AdvancedUpdateNode final : public AllocatorNode {
  protected:
   void start_request(std::uint64_t serial) override;
   void on_release(cell::ChannelId ch, std::uint64_t serial) override;
+  void on_crash() override;
+  void on_peer_restart(cell::CellId j) override;
+  void apply_resync_reply(const net::Message& m) override;
   [[nodiscard]] int admission_free_count() const override {
     cell::ChannelSet freeSet = cell::ChannelSet::all(spectrum_size());
     freeSet -= use_;

@@ -14,6 +14,7 @@ std::string outcome_name(Outcome o) {
     case Outcome::kBlockedNoChannel: return "blocked-no-channel";
     case Outcome::kBlockedStarved: return "blocked-starved";
     case Outcome::kBlockedTimeout: return "blocked-timeout";
+    case Outcome::kBlockedDown: return "blocked-down";
   }
   return "?";
 }
@@ -41,6 +42,7 @@ void AllocatorNode::request_channel(std::uint64_t serial) {
 }
 
 void AllocatorNode::begin_request(std::uint64_t serial) {
+  current_serial_ = serial;
   if (policy_->gates_admission()) {
     // Mobility serials encode (call, hop); hop > 0 marks a handoff leg.
     const RequestClass cls = traffic::mobility::hop_of(serial) > 0
@@ -100,6 +102,114 @@ void AllocatorNode::disarm_timer() {
   if (timer_ == sim::kInvalidEventId) return;
   env_->cancel_scheduled(timer_);
   timer_ = sim::kInvalidEventId;
+}
+
+// -- crash-recovery --------------------------------------------------------
+
+std::vector<std::uint64_t> AllocatorNode::crash_reset() {
+  std::vector<std::uint64_t> torn;
+  if (busy_) torn.push_back(current_serial_);
+  torn.insert(torn.end(), queue_.begin(), queue_.end());
+  queue_.clear();
+  busy_ = false;
+  use_.clear();
+  disarm_timer();
+  disarm_resync_timer();
+  resyncing_ = false;
+  on_crash();
+  return torn;
+}
+
+void AllocatorNode::begin_resync() {
+  assert(!busy_ && queue_.empty() && "restart must find the node idle");
+  const std::size_t n = nbr_count();
+  resyncing_ = true;
+  resync_rounds_ = 1;
+  resync_waiting_.assign(n, 1);
+  resync_missing_ = n;
+  if (n == 0) {  // isolated cell: nothing to learn
+    resync_done();
+    return;
+  }
+  send_resync_requests();
+  arm_resync_timer();
+}
+
+void AllocatorNode::send_resync_requests() {
+  const auto nbrs = interference();
+  for (std::size_t r = 0; r < nbrs.size(); ++r) {
+    if (resync_waiting_[r] == 0) continue;
+    net::Message m;
+    m.kind = net::MsgKind::kResyncReq;
+    m.from = id_;
+    m.to = nbrs[r];
+    env_->send(std::move(m));
+  }
+}
+
+void AllocatorNode::arm_resync_timer() {
+  if (!resilience_.enabled()) return;
+  const std::uint64_t gen = ++resync_timer_gen_;
+  auto cb = [this, gen]() {
+    if (gen != resync_timer_gen_ || !resyncing_) return;
+    resync_timer_ = sim::kInvalidEventId;
+    // A neighbour that was itself down discarded our request outright (no
+    // transport retry reaches a dead process), so the protocol re-sends
+    // every timeout until each neighbour has answered.
+    ++resync_rounds_;
+    send_resync_requests();
+    arm_resync_timer();
+  };
+  static_assert(sim::TimerFn::fits_inline<decltype(cb)>(),
+                "resync timer closure must fit TimerFn's inline buffer");
+  resync_timer_ =
+      env_->schedule_in(resilience_.request_timeout, sim::TimerFn(std::move(cb)));
+}
+
+void AllocatorNode::disarm_resync_timer() {
+  ++resync_timer_gen_;
+  if (resync_timer_ == sim::kInvalidEventId) return;
+  env_->cancel_scheduled(resync_timer_);
+  resync_timer_ = sim::kInvalidEventId;
+}
+
+void AllocatorNode::resync_done() {
+  resyncing_ = false;
+  disarm_resync_timer();
+  on_resync_done();
+  env_->notify_resynced(id_, resync_rounds_);
+}
+
+bool AllocatorNode::handle_resync(const net::Message& msg) {
+  if (msg.kind == net::MsgKind::kResyncReq) {
+    // The peer lost all state, including anything it ever promised or
+    // deferred for us — make our beliefs about it conservative and void
+    // any open round that counted its pre-crash replies. Replying with
+    // the *current* Use set (after the abort) is what makes the exchange
+    // safe: nothing this node acquires after this reply can rest on a
+    // grant the peer no longer remembers.
+    on_peer_restart(msg.from);
+    net::Message m;
+    m.kind = net::MsgKind::kResyncReply;
+    m.from = id_;
+    m.to = msg.from;
+    m.use = use_;
+    fill_resync_reply(m);
+    env_->send(std::move(m));
+    return true;
+  }
+  if (msg.kind == net::MsgKind::kResyncReply) {
+    if (!resyncing_) return true;  // reply to a wave we already closed
+    const int r = nbr_rank(msg.from);
+    if (r >= 0 && resync_waiting_[static_cast<std::size_t>(r)] != 0) {
+      resync_waiting_[static_cast<std::size_t>(r)] = 0;
+      --resync_missing_;
+      apply_resync_reply(msg);
+      if (resync_missing_ == 0) resync_done();
+    }
+    return true;
+  }
+  return false;
 }
 
 void AllocatorNode::trace_search_start(std::uint64_t serial,

@@ -24,6 +24,7 @@
 #include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "cell/grid.hpp"
 #include "cell/reuse.hpp"
@@ -46,6 +47,7 @@ enum class Outcome : std::uint8_t {
   kBlockedNoChannel = 3,  // no interference-free channel existed
   kBlockedStarved = 4,    // update-scheme retry cap exhausted (starvation)
   kBlockedTimeout = 5,    // a protocol round timed out (lossy/stalled peers)
+  kBlockedDown = 6,       // serving MSS crashed (or is resyncing after one)
 };
 
 [[nodiscard]] inline bool is_acquired(Outcome o) noexcept {
@@ -120,6 +122,14 @@ class NodeEnv {
     (void)ch;
     return true;
   }
+
+  /// A restarted node finished its cold-state resync after `rounds`
+  /// request waves and is ready to re-admit traffic. Default: ignore
+  /// (environments without the crash fault model never see it).
+  virtual void notify_resynced(cell::CellId cellId, int rounds) {
+    (void)cellId;
+    (void)rounds;
+  }
 };
 
 /// Fault-tolerance knobs shared by all schemes. The all-zero default
@@ -189,6 +199,31 @@ class AllocatorNode {
   /// Number of locally queued (not yet started) requests.
   [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
 
+  // -- crash-recovery fault model ------------------------------------------
+
+  /// The MSS process died: every piece of volatile protocol state is lost.
+  /// Returns the serials of the in-flight plus queued requests (in service
+  /// order) so the environment can close them as blocked; the environment
+  /// tears down the live calls itself (no release protocol runs — the
+  /// neighbours learn about the freed channels through the resync and the
+  /// ordinary announcements that follow).
+  ///
+  /// The Lamport clock deliberately survives the crash: ticking on from
+  /// the pre-crash value keeps every post-restart timestamp ahead of
+  /// anything neighbours already witnessed from this node, which the
+  /// search-order discipline depends on.
+  std::vector<std::uint64_t> crash_reset();
+
+  /// The MSS restarted cold. Sends kResyncReq to every interference
+  /// neighbour and keeps re-sending every request_timeout until each has
+  /// answered with a kResyncReply state snapshot; until then resyncing()
+  /// is true and the environment must not admit traffic here. Completion
+  /// is reported through NodeEnv::notify_resynced.
+  void begin_resync();
+
+  /// True between begin_resync() and the last neighbour's state reply.
+  [[nodiscard]] bool resyncing() const noexcept { return resyncing_; }
+
  protected:
   /// Begins serving one request. Subclasses must eventually call
   /// complete_acquired() or complete_blocked() with the same serial.
@@ -207,6 +242,38 @@ class AllocatorNode {
   /// Scheme-specific release protocol (messaging); base handles Use_i and
   /// world notification before invoking this.
   virtual void on_release(cell::ChannelId ch, std::uint64_t serial) = 0;
+
+  // -- crash-recovery hooks (defaults suit stateless schemes like FCA) -----
+
+  /// Wipe every scheme-owned piece of volatile state (open rounds, known
+  /// neighbour sets, deferred work). Called by crash_reset() after the
+  /// base state is gone; must not send messages.
+  virtual void on_crash() {}
+
+  /// Interference neighbour `j` restarted cold (its kResyncReq arrived).
+  /// Implementations must (a) drop every belief about j — known use sets,
+  /// pending grants/promises/offers towards j, deferred work from j — and
+  /// (b) abort any open protocol round through the scheme's existing
+  /// timeout path: a reply j sent before crashing is void (j no longer
+  /// remembers the grant), so a round that counted it must not conclude.
+  /// Treating "peer restarted" exactly like "round timed out" is what
+  /// closes the stale-grant race.
+  virtual void on_peer_restart(cell::CellId j) { (void)j; }
+
+  /// Add scheme-specific payload to an outgoing kResyncReply (m.use is
+  /// already this node's Use set).
+  virtual void fill_resync_reply(net::Message& m) const { (void)m; }
+
+  /// Absorb a neighbour's kResyncReply state snapshot during resync.
+  virtual void apply_resync_reply(const net::Message& m) { (void)m; }
+
+  /// All neighbours answered; runs before NodeEnv::notify_resynced (e.g.
+  /// the adaptive scheme re-evaluates its mode here).
+  virtual void on_resync_done() {}
+
+  /// Intercepts kResyncReq / kResyncReply. Every scheme's on_message must
+  /// call this first and return when it handles the message.
+  bool handle_resync(const net::Message& msg);
 
   // -- completion helpers (advance the local FIFO) -------------------------
   void complete_acquired(std::uint64_t serial, cell::ChannelId ch, Outcome how,
@@ -295,6 +362,14 @@ class AllocatorNode {
   /// dequeued), so gated and ungated paths stay aligned across schemes.
   void begin_request(std::uint64_t serial);
 
+  // Resync round machinery. The resync exchange needs its own timer slot:
+  // scheme code re-arms the single protocol timer freely, and a node can
+  // be answering protocol traffic while still waiting on resync replies.
+  void send_resync_requests();
+  void arm_resync_timer();
+  void disarm_resync_timer();
+  void resync_done();
+
   cell::CellId id_;
   const cell::HexGrid* grid_;
   const cell::ReusePlan* plan_;
@@ -302,9 +377,17 @@ class AllocatorNode {
   Resilience resilience_;
   const AllocationPolicy* policy_;
   bool busy_ = false;
+  std::uint64_t current_serial_ = 0;  // the serial begin_request is serving
   std::deque<std::uint64_t> queue_;
   sim::EventId timer_ = sim::kInvalidEventId;
   std::uint64_t timer_gen_ = 0;
+
+  bool resyncing_ = false;
+  int resync_rounds_ = 0;                     // request waves sent so far
+  std::vector<std::uint8_t> resync_waiting_;  // by neighbour rank
+  std::size_t resync_missing_ = 0;
+  sim::EventId resync_timer_ = sim::kInvalidEventId;
+  std::uint64_t resync_timer_gen_ = 0;
 };
 
 }  // namespace dca::proto

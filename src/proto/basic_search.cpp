@@ -31,6 +31,7 @@ void BasicSearchNode::on_release(cell::ChannelId, std::uint64_t) {
 }
 
 void BasicSearchNode::on_message(const net::Message& msg) {
+  if (handle_resync(msg)) return;
   clock_.witness(msg.ts);
   switch (msg.kind) {
     case net::MsgKind::kRequest:
@@ -138,12 +139,31 @@ void BasicSearchNode::finalize() {
   }
 }
 
+void BasicSearchNode::on_crash() {
+  search_.reset();
+  await_decision_.clear();
+  defer_.clear();
+}
+
+void BasicSearchNode::on_peer_restart(cell::CellId j) {
+  // j forgot the search we were awaiting and every reply it owed us.
+  await_decision_.erase(j);
+  for (auto it = defer_.begin(); it != defer_.end();) {
+    it = it->from == j ? defer_.erase(it) : std::next(it);
+  }
+  // Our open search may have counted j's pre-crash reply (or j's restarted
+  // clock could now issue an older timestamp than ours, breaking the
+  // sequencing discipline) — resolve it through the timeout path.
+  if (search_.has_value()) abort_search();
+}
+
 void BasicSearchNode::abort_search() {
   // The request timer expired with replies or a decision announcement
   // still outstanding (lost peers, paused MSS). Give up on this request:
   // announce a failed decision so everyone we might have blocked
   // unblocks, answer the searches we deferred, and report the timeout.
   assert(search_.has_value());
+  disarm_timer();  // also reachable from on_peer_restart, timer still armed
   const Search s = *search_;
   search_.reset();
   trace_timeout(s.serial, 0);

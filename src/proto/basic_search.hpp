@@ -45,6 +45,8 @@ class BasicSearchNode final : public AllocatorNode {
  protected:
   void start_request(std::uint64_t serial) override;
   void on_release(cell::ChannelId ch, std::uint64_t serial) override;
+  void on_crash() override;
+  void on_peer_restart(cell::CellId j) override;
 
  private:
   struct Search {

@@ -73,6 +73,7 @@ void BasicUpdateNode::on_release(cell::ChannelId ch, std::uint64_t serial) {
 }
 
 void BasicUpdateNode::on_message(const net::Message& msg) {
+  if (handle_resync(msg)) return;
   clock_.witness(msg.ts);
   switch (msg.kind) {
     case net::MsgKind::kRequest:
@@ -200,12 +201,42 @@ void BasicUpdateNode::conclude_attempt() {
   try_attempt(a.serial, a.round + 1);
 }
 
+void BasicUpdateNode::on_crash() {
+  attempt_.reset();
+  granters_.clear();
+  // Believed neighbour state is gone; the resync replies rebuild U_j.
+  // Grants promised before the crash are unrecoverable — the requesters
+  // holding them abort their rounds when our kResyncReq arrives.
+  for (std::size_t r = 0; r < known_use_.size(); ++r) {
+    known_use_[r].clear();
+    pending_grants_[r].clear();
+  }
+}
+
+void BasicUpdateNode::on_peer_restart(cell::CellId j) {
+  if (const int r = nbr_rank(j); r >= 0) {
+    // j's calls were torn down and its memory of our grants is gone.
+    known_use_[static_cast<std::size_t>(r)].clear();
+    pending_grants_[static_cast<std::size_t>(r)].clear();
+  }
+  // A grant j sent before crashing is void: resolve the open round through
+  // the timeout path before we answer with our state snapshot.
+  if (attempt_.has_value()) abort_attempt();
+}
+
+void BasicUpdateNode::apply_resync_reply(const net::Message& m) {
+  if (const int r = nbr_rank(m.from); r >= 0) {
+    known_use_[static_cast<std::size_t>(r)] = m.use;
+  }
+}
+
 void BasicUpdateNode::abort_attempt() {
   // Request timer expired with responses outstanding. Release the channel
   // to the WHOLE region, not just known granters: grants may still be in
   // flight, and per-link FIFO guarantees our REQUEST precedes this
   // RELEASE at every neighbour, so every pending grant gets cleaned up.
   assert(attempt_.has_value());
+  disarm_timer();  // also reachable from on_peer_restart, timer still armed
   const Attempt a = *attempt_;
   attempt_.reset();
   granters_.clear();

@@ -25,8 +25,10 @@ void FcaNode::on_release(cell::ChannelId, std::uint64_t) {
 }
 
 void FcaNode::on_message(const net::Message& msg) {
-  (void)msg;
-  assert(false && "FCA nodes never exchange messages");
+  // FCA keeps no remote state, but a restarted neighbour still expects a
+  // resync reply before re-admitting traffic.
+  if (handle_resync(msg)) return;
+  assert(false && "FCA nodes never exchange messages beyond resync");
 }
 
 }  // namespace dca::proto

@@ -39,6 +39,30 @@ bool parse_double(const std::string& v, double& out) {
   return end != v.c_str() && *end == '\0';
 }
 
+/// "<cell>[,<cell>...] @ <start_s>..<end_s>"  (seconds, decimals allowed).
+bool parse_partition_spec(const std::string& v, net::PartitionSpec& out) {
+  const auto at = v.find('@');
+  if (at == std::string::npos) return false;
+  std::istringstream cells(trim(v.substr(0, at)));
+  std::string tok;
+  while (std::getline(cells, tok, ',')) {
+    std::int64_t c = 0;
+    if (!parse_int(trim(tok), c)) return false;
+    out.cells.push_back(static_cast<cell::CellId>(c));
+  }
+  if (out.cells.empty()) return false;
+  const std::string range = trim(v.substr(at + 1));
+  const auto dots = range.find("..");
+  if (dots == std::string::npos) return false;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  if (!parse_double(trim(range.substr(0, dots)), start_s)) return false;
+  if (!parse_double(trim(range.substr(dots + 2)), end_s)) return false;
+  out.start = sim::from_seconds(start_s);
+  out.end = sim::from_seconds(end_s);
+  return true;
+}
+
 }  // namespace
 
 bool apply_scenario_text(const std::string& text, ScenarioConfig& config,
@@ -167,6 +191,20 @@ bool apply_scenario_text(const std::string& text, ScenarioConfig& config,
     } else if (key == "pause_mean_s") {
       if (!parse_double(val, d)) return fail("number");
       config.fault.pause_mean_s = d;
+    } else if (key == "crash_rate_per_min") {
+      if (!parse_double(val, d)) return fail("number");
+      config.fault.crash_rate_per_min = d;
+    } else if (key == "crash_mean_s") {
+      if (!parse_double(val, d)) return fail("number");
+      config.fault.crash_mean_s = d;
+    } else if (key == "net_partition") {
+      // One scheduled partition per line: "<cell>[,<cell>...] @ <s>..<s>",
+      // e.g. "net_partition = 0,1,8 @ 300..420". Repeatable.
+      net::PartitionSpec spec;
+      if (!parse_partition_spec(val, spec)) {
+        return fail("cells @ start_s..end_s, e.g. 0,1,8 @ 300..420");
+      }
+      config.fault.partitions.push_back(std::move(spec));
     } else if (key == "timeout_ms") {
       if (!parse_double(val, d)) return fail("number");
       config.request_timeout = sim::from_seconds(d / 1000.0);
@@ -248,6 +286,16 @@ std::string scenario_to_text(const ScenarioConfig& c) {
   os << "fault_jitter_ms = " << sim::to_milliseconds(c.fault.jitter) << "\n";
   os << "pause_rate_per_min = " << c.fault.pause_rate_per_min << "\n";
   os << "pause_mean_s = " << c.fault.pause_mean_s << "\n";
+  os << "crash_rate_per_min = " << c.fault.crash_rate_per_min << "\n";
+  os << "crash_mean_s = " << c.fault.crash_mean_s << "\n";
+  for (const net::PartitionSpec& p : c.fault.partitions) {
+    os << "net_partition = ";
+    for (std::size_t i = 0; i < p.cells.size(); ++i) {
+      os << (i == 0 ? "" : ",") << p.cells[i];
+    }
+    os << " @ " << sim::to_seconds(p.start) << ".." << sim::to_seconds(p.end)
+       << "\n";
+  }
   os << "timeout_ms = " << sim::to_milliseconds(c.request_timeout) << "\n";
   os << "shards = " << c.shards << "\n";
   os << "threads = " << c.threads << "\n";

@@ -26,6 +26,8 @@ ConformanceChecker::ConformanceChecker(const cell::HexGrid& grid, int n_channels
     : grid_(grid), n_channels_(n_channels) {
   held_.assign(static_cast<std::size_t>(grid.n_cells()),
                cell::ChannelSet(n_channels));
+  down_.assign(static_cast<std::size_t>(grid.n_cells()), 0);
+  resyncing_.assign(static_cast<std::size_t>(grid.n_cells()), 0);
 }
 
 void ConformanceChecker::violate(const sim::TraceEvent& ev, std::string rule,
@@ -75,6 +77,12 @@ void ConformanceChecker::feed(const sim::TraceEvent& ev) {
         return;
       }
       const auto c = static_cast<std::size_t>(ev.cell);
+      if (down_[c] != 0 || resyncing_[c] != 0) {
+        // A down MSS admits no traffic; a resyncing one answers peers but
+        // must not grab spectrum before it has re-learned the region.
+        violate(ev, "acquire-while-down",
+                cell_str() + (down_[c] != 0 ? " is crashed" : " is resyncing"));
+      }
       if (held_[c].contains(ev.channel)) {
         violate(ev, "double-acquire",
                 cell_str() + " already holds ch=" + std::to_string(ev.channel));
@@ -118,6 +126,11 @@ void ConformanceChecker::feed(const sim::TraceEvent& ev) {
       if (!in_grid(ev.cell)) {
         violate(ev, "bad-cell", cell_str());
         return;
+      }
+      const auto c = static_cast<std::size_t>(ev.cell);
+      if (down_[c] != 0 || resyncing_[c] != 0) {
+        violate(ev, "search-while-down",
+                cell_str() + (down_[c] != 0 ? " is crashed" : " is resyncing"));
       }
       OpenSearch s;
       s.serial = ev.serial;
@@ -200,6 +213,66 @@ void ConformanceChecker::feed(const sim::TraceEvent& ev) {
       break;
     }
 
+    case sim::TraceKind::kCrash: {
+      if (!in_grid(ev.cell)) {
+        violate(ev, "bad-cell", cell_str());
+        return;
+      }
+      const auto c = static_cast<std::size_t>(ev.cell);
+      ++report_.crashes;
+      if (down_[c] != 0) {
+        violate(ev, "crash-while-down", cell_str() + " crashed twice");
+      }
+      // Crashing mid-resync is legal (outages do not wait for protocol
+      // rounds); the interrupted resync simply never reports done.
+      down_[c] = 1;
+      resyncing_[c] = 0;
+      // The crash wipes the node's volatile protocol state, so a search
+      // open at the crash instant vanishes without a kSearchDecide; its
+      // serial is closed by the runner's teardown kBlock. Peers abort
+      // their own rounds on the kResyncReq, so the ordering discipline
+      // restarts cleanly — drop the phantom search.
+      searching_.erase(ev.cell);
+      break;
+    }
+
+    case sim::TraceKind::kRestart: {
+      if (!in_grid(ev.cell)) {
+        violate(ev, "bad-cell", cell_str());
+        return;
+      }
+      const auto c = static_cast<std::size_t>(ev.cell);
+      if (down_[c] == 0) {
+        violate(ev, "restart-while-up", cell_str() + " was not crashed");
+      }
+      // The crash teardown must have released every held channel before
+      // the cell comes back: anything still held leaked across the outage.
+      for (cell::ChannelId ch = held_[c].first(); ch != cell::kNoChannel;
+           ch = held_[c].next_after(ch)) {
+        violate(ev, "held-through-crash",
+                cell_str() + " still holds ch=" + std::to_string(ch) +
+                    " at restart");
+      }
+      down_[c] = 0;
+      resyncing_[c] = 1;
+      break;
+    }
+
+    case sim::TraceKind::kResyncDone: {
+      if (!in_grid(ev.cell)) {
+        violate(ev, "bad-cell", cell_str());
+        return;
+      }
+      const auto c = static_cast<std::size_t>(ev.cell);
+      if (resyncing_[c] == 0) {
+        violate(ev, "resync-without-restart",
+                cell_str() + " reported resync while not resyncing");
+      }
+      resyncing_[c] = 0;
+      ++report_.resyncs;
+      break;
+    }
+
     case sim::TraceKind::kRunEnd: {
       report_.saw_run_end = true;
       if (ev.a == 0) {
@@ -238,6 +311,18 @@ ConformanceReport ConformanceChecker::finish() {
     violate(end, "lost-handoff",
             "serial=" + std::to_string(serial) + " left towards cell=" +
                 std::to_string(dest) + " but never arrived");
+  }
+  for (std::size_t c = 0; c < down_.size(); ++c) {
+    // The drain phase restarts every down cell and completes every resync
+    // (quiescence requires it), so neither state may survive the run.
+    if (down_[c] != 0) {
+      violate(end, "down-at-end",
+              "cell=" + std::to_string(c) + " still crashed at run end");
+    }
+    if (resyncing_[c] != 0) {
+      violate(end, "unresynced-at-end",
+              "cell=" + std::to_string(c) + " never finished resyncing");
+    }
   }
   return report_;
 }
@@ -342,7 +427,7 @@ bool int_field(const std::string& line, const std::string& key, std::int64_t& ou
 }
 
 bool kind_from_name(const std::string& name, sim::TraceKind& out) {
-  for (int k = 0; k <= static_cast<int>(sim::TraceKind::kHandoffRecv); ++k) {
+  for (int k = 0; k <= static_cast<int>(sim::TraceKind::kResyncDone); ++k) {
     const auto kind = static_cast<sim::TraceKind>(k);
     if (name == sim::trace_kind_name(kind)) {
       out = kind;

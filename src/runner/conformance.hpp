@@ -16,6 +16,12 @@
 //   * migration pairing — every HANDOFF_LEAVE is answered by exactly one
 //     HANDOFF_RECV for the same serial (the transport is reliable, so a
 //     leave without its recv is a lost call);
+//   * crash lifecycle — a cell crashes only while up (a crash during the
+//     resync window is legal: outages do not wait), restarts only while
+//     down, holds no channel across the outage (every held channel is
+//     released during the crash teardown), and never acquires a channel or
+//     starts a search while down or still resynchronizing; RESYNC_DONE
+//     only ever answers a RESTART;
 //   * terminal cleanliness — at run end no channel is still held, no
 //     request is still open (a wedged call), no search is still undecided,
 //     and the run reached quiescence.
@@ -47,6 +53,8 @@ struct ConformanceReport {
   std::uint64_t events = 0;
   std::uint64_t timeouts = 0;        // protocol timers fired (kTimeout)
   std::uint64_t timeout_aborts = 0;  // searches concluded by abort
+  std::uint64_t crashes = 0;         // MSS crash events (kCrash)
+  std::uint64_t resyncs = 0;         // completed resyncs (kResyncDone)
   bool saw_run_end = false;
   [[nodiscard]] bool ok() const { return violations.empty(); }
   /// One line per violation (capped), for test failure messages.
@@ -83,6 +91,8 @@ class ConformanceChecker {
   ConformanceReport report_;
   sim::SimTime last_t_ = 0;
   std::vector<cell::ChannelSet> held_;                     // by cell
+  std::vector<std::uint8_t> down_;                         // crashed, by cell
+  std::vector<std::uint8_t> resyncing_;                    // by cell
   std::unordered_map<std::uint64_t, std::int32_t> open_;   // serial -> cell
   std::unordered_map<std::int32_t, OpenSearch> searching_; // cell -> search
   std::unordered_map<std::uint64_t, std::int32_t> migrating_;  // serial -> dest

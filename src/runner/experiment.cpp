@@ -68,7 +68,13 @@ RunResult run_profile(const ScenarioConfig& config, Scheme scheme,
   out.executed_events = world.simulator().executed();
   out.quiescent = world.quiescent();
   out.transport = world.network().transport_stats();
+  out.availability = world.availability();
   if (trace != nullptr) {
+    // Same-instant ties spanning cells execute in insertion order here but
+    // in (t, cell) order under the sharded fold merge; sort the buffered
+    // trace into that canonical order so the trace is engine-invariant.
+    // kRunEnd goes in afterwards, last in both engines.
+    trace->canonicalize();
     sim::TraceEvent end;
     end.kind = sim::TraceKind::kRunEnd;
     end.t = world.simulator().now();

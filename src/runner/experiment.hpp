@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "metrics/availability.hpp"
 #include "metrics/collector.hpp"
 #include "net/fault.hpp"
 #include "net/message.hpp"
@@ -34,6 +35,8 @@ struct RunResult {
   std::uint64_t executed_events = 0;
   bool quiescent = false;
   net::TransportStats transport;  // all-zero unless faults were enabled
+  /// Crash/resync availability accounting (all-zero with crashes off).
+  metrics::Availability availability;
 
   /// Process-wide peak resident set (getrusage ru_maxrss) sampled after
   /// the run, in bytes; 0 where the platform cannot report it. A

@@ -51,6 +51,27 @@ std::string validate_scenario(const ScenarioConfig& c) {
   if (c.request_timeout < 0) return "request timeout cannot be negative";
   if (c.fault.pause_rate_per_min > 0.0 && c.request_timeout == 0)
     return "MSS pauses stall handshakes indefinitely; set request_timeout";
+  if (c.fault.crash_rate_per_min < 0.0) return "crash rate cannot be negative";
+  if (c.fault.crash_mean_s < 0.0) return "crash_mean_s cannot be negative";
+  if (c.fault.crash_rate_per_min > 0.0 && c.fault.crash_mean_s <= 0.0)
+    return "crash_mean_s must be positive when crashes are enabled";
+  if (c.fault.crashes() && c.request_timeout == 0)
+    return "MSS crashes orphan in-flight handshakes; set request_timeout";
+  for (const net::PartitionSpec& p : c.fault.partitions) {
+    if (p.cells.empty())
+      return "partition group must name at least one cell";
+    if (p.start >= p.end)
+      return "partition interval must satisfy start < end";
+    for (const cell::CellId pc : p.cells) {
+      if (pc < 0 || pc >= c.rows * c.cols)
+        return "partition cell " + std::to_string(pc) +
+               " outside the grid (cells are 0.." +
+               std::to_string(c.rows * c.cols - 1) + ")";
+    }
+  }
+  if (c.fault.has_partitions() && c.request_timeout == 0)
+    return "network partitions stall handshakes until the heal; set "
+           "request_timeout";
   if (c.shards < 1) return "shards must be >= 1";
   if (c.threads < 0) return "threads cannot be negative";
   if (c.shards > 1) {

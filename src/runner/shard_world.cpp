@@ -14,6 +14,7 @@
 #include "cell/grid.hpp"
 #include "cell/partition.hpp"
 #include "cell/reuse.hpp"
+#include "metrics/availability.hpp"
 #include "metrics/collector.hpp"
 #include "runner/conformance.hpp"
 #include "net/fault.hpp"
@@ -84,6 +85,7 @@ class ShardEnv final : public proto::NodeEnv {
   void notify_released(CellId cellId, cell::ChannelId ch) override;
   void notify_reassigned(CellId cellId, cell::ChannelId from_ch,
                          cell::ChannelId to_ch) override;
+  void notify_resynced(CellId cellId, int rounds) override;
   sim::RngStream& rng(CellId cellId) override;
   sim::EventId schedule_in(sim::Duration delay, sim::TimerFn fn) override;
   void cancel_scheduled(sim::EventId id) override;
@@ -165,6 +167,9 @@ struct alignas(64) ShardState {
   std::unordered_map<std::uint64_t, ActiveCall> active;
   std::uint64_t violations = 0;
   std::uint64_t reassignments = 0;
+  // Crash/resync accounting for cells owned by this shard; every field is
+  // a sum (or max), so the run total is the associative per-shard merge.
+  metrics::Availability avail;
 
   // Time-weighted usage integral in exact channel-microseconds; the
   // per-shard int64 partial sums merge by addition, and every legacy
@@ -236,6 +241,19 @@ class ShardedWorld {
   // Pauses.
   void schedule_pause_cycle(CellId c, sim::SimTime from_time);
 
+  // Crash-recovery fault model (mirrors runner/world.cpp event for event).
+  void schedule_crash_cycle(CellId c, sim::SimTime from_time);
+  void crash_cell(CellId c);
+  void restart_cell(CellId c);
+  void notify_resynced(CellId cellId, int rounds);
+  /// Opens and immediately blocks a call offered to a down cell.
+  void reject_call_down(CellId c, std::uint64_t serial, traffic::CallId call,
+                        sim::Duration remaining, bool is_handoff);
+  [[nodiscard]] bool down_now(CellId c) const {
+    return (crashes_on_ && crashed_[static_cast<std::size_t>(c)] != 0) ||
+           nodes_[static_cast<std::size_t>(c)]->resyncing();
+  }
+
   // Call lifecycle (NodeEnv backends).
   void notify_acquired(CellId cellId, std::uint64_t serial, cell::ChannelId ch,
                        proto::Outcome how, int attempts);
@@ -282,10 +300,21 @@ class ShardedWorld {
   std::vector<std::unique_ptr<proto::AllocatorNode>> nodes_;
   std::vector<sim::RngStream> node_rng_;
   std::vector<sim::RngStream> pause_rng_;
+  std::vector<sim::RngStream> crash_rng_;
   std::vector<sim::RngStream> arrival_rng_;
   std::vector<sim::RngStream> holding_rng_;
   std::vector<cell::ChannelSet> truth_;
   std::vector<std::uint64_t> cell_seq_;  // local-class canonical counters
+
+  // Crash-recovery state. The per-cell arrays are only ever touched by
+  // kClassControl events owned by that cell (and by readers on its shard),
+  // so cross-shard contention never arises; the availability sums live in
+  // each ShardState and merge at result().
+  bool crashes_on_ = false;
+  std::vector<std::uint8_t> crashed_;     // currently off the air
+  std::vector<sim::SimTime> down_since_;  // crash instant, per cell
+  std::vector<sim::SimTime> restart_at_;  // last restart instant, per cell
+  net::PartitionTimeline partitions_;     // views config_.fault.partitions
 
   bool transport_ = false;
   sim::Duration rto_base_ = 0;
@@ -345,6 +374,9 @@ void ShardEnv::notify_released(CellId cellId, cell::ChannelId ch) {
 void ShardEnv::notify_reassigned(CellId cellId, cell::ChannelId from_ch,
                                  cell::ChannelId to_ch) {
   world->notify_reassigned(cellId, from_ch, to_ch);
+}
+void ShardEnv::notify_resynced(CellId cellId, int rounds) {
+  world->notify_resynced(cellId, rounds);
 }
 sim::RngStream& ShardEnv::rng(CellId cellId) {
   return world->node_rng_[static_cast<std::size_t>(cellId)];
@@ -476,6 +508,30 @@ ShardedWorld::ShardedWorld(const ScenarioConfig& config, Scheme scheme,
           config_.seed, 0x9a05e000ull + static_cast<std::uint64_t>(c)));
       schedule_pause_cycle(c, 0);
     }
+  }
+  if (config_.fault.crashes()) {
+    crashes_on_ = true;
+    crashed_.assign(n, 0);
+    down_since_.assign(n, 0);
+    restart_at_.assign(n, 0);
+    crash_rng_.reserve(n);
+    for (CellId c = 0; c < grid_.n_cells(); ++c) {
+      crash_rng_.push_back(sim::RngStream::derive(
+          config_.seed, 0xCa45e000ull + static_cast<std::uint64_t>(c)));
+      schedule_crash_cycle(c, 0);
+    }
+  }
+  if (config_.fault.has_partitions()) {
+    // Same bound as net::Network::enable_faults: tolerate specs naming
+    // cells past the grid (validate_scenario rejects them up front, but
+    // the timeline must never index out of range regardless).
+    int np = grid_.n_cells();
+    for (const net::PartitionSpec& p : config_.fault.partitions) {
+      for (const CellId c : p.cells) {
+        if (c + 1 > np) np = c + 1;
+      }
+    }
+    partitions_ = net::PartitionTimeline(config_.fault.partitions, np);
   }
 
   precompute_call_ids();
@@ -618,6 +674,11 @@ void ShardedWorld::candidate_fire(CellId c, sim::SimTime when) {
 
 void ShardedWorld::submit_call(std::uint64_t serial, CellId c,
                                sim::Duration holding) {
+  if (crashes_on_ && down_now(c)) {
+    reject_call_down(c, serial, static_cast<traffic::CallId>(serial), holding,
+                     /*is_handoff=*/false);
+    return;
+  }
   ShardState& st = state_of(c);
   st.pending[serial] =
       PendingCall{static_cast<traffic::CallId>(serial), holding, false};
@@ -768,6 +829,14 @@ void ShardedWorld::transmit(int s, const LinkKey& link, std::uint64_t seq) {
   ShardState& st = states_[static_cast<std::size_t>(s)];
   const LinkId lid = links_.require(link.first, link.second);
   sim::RngStream& rng = link_rng(st, lid, link);
+  // Partition cut: checked before any RNG draw so the per-link stream
+  // advances identically whether or not a partition is configured.
+  if (config_.fault.has_partitions() &&
+      partitions_.severed(link.first, link.second, kernel_.now(s))) {
+    ++st.tstats.frames_dropped;
+    record_link(st, sim::TraceKind::kDrop, link, seq, -1);
+    return;  // severed; the RTO resends until the partition heals
+  }
   if (config_.fault.drop_prob > 0 && rng.bernoulli(config_.fault.drop_prob)) {
     ++st.tstats.frames_dropped;
     record_link(st, sim::TraceKind::kDrop, link, seq);
@@ -824,6 +893,14 @@ void ShardedWorld::send_ack(const LinkKey& data_link, std::uint64_t cumulative) 
   const LinkKey back{data_link.second, data_link.first};
   const LinkId back_lid = links_.require(back.first, back.second);
   sim::RngStream& rng = link_rng(st, back_lid, back);
+  // Partition cut severs the ack path too (both directions cross the cut).
+  if (config_.fault.has_partitions() &&
+      partitions_.severed(back.first, back.second,
+                          kernel_.now(st.env.shard))) {
+    ++st.tstats.frames_dropped;
+    record_link(st, sim::TraceKind::kDrop, back, cumulative, -1);
+    return;
+  }
   if (config_.fault.drop_prob > 0 && rng.bernoulli(config_.fault.drop_prob)) {
     ++st.tstats.frames_dropped;
     record_link(st, sim::TraceKind::kDrop, back, cumulative);
@@ -873,6 +950,13 @@ void ShardedWorld::dispatch_to_node(const net::Message& msg) {
   // it.
   if (msg.kind == net::MsgKind::kHandoff) {
     handoff_arrival(msg);
+    return;
+  }
+  // A crashed MSS loses inbound protocol traffic permanently (the NIC
+  // acks, the process is gone); senders resolve via their timeout paths.
+  // A *resyncing* node receives normally — it must, to collect its resync
+  // replies — it just admits no new traffic yet.
+  if (crashes_on_ && crashed_[static_cast<std::size_t>(msg.to)] != 0) {
     return;
   }
   nodes_[static_cast<std::size_t>(msg.to)]->on_message(msg);
@@ -928,6 +1012,96 @@ void ShardedWorld::schedule_pause_cycle(CellId c, sim::SimTime from_time) {
       schedule_pause_cycle(c, at + len);
     });
   });
+}
+
+// -- crash-recovery fault model --------------------------------------------
+
+void ShardedWorld::schedule_crash_cycle(CellId c, sim::SimTime from_time) {
+  // Same pure-function-of-(config, seed) schedule as the classic engine
+  // (stream label 0xCa45e000 + c), realized as kClassControl events owned
+  // by the crashing cell so both engines execute crash, restart, and every
+  // neighbouring event in the identical canonical order.
+  auto& rng = crash_rng_[static_cast<std::size_t>(c)];
+  const double gap_s =
+      rng.exponential_mean(60.0 / config_.fault.crash_rate_per_min);
+  const sim::SimTime at = from_time + sim::from_seconds(gap_s);
+  if (at >= config_.duration) return;
+  const double len_s = rng.exponential_mean(config_.fault.crash_mean_s);
+  const sim::Duration len = std::max<sim::Duration>(sim::from_seconds(len_s), 1);
+  (void)schedule_local(c, sim::kClassControl, at, [this, c, at, len]() {
+    crash_cell(c);
+    (void)schedule_local(c, sim::kClassControl, at + len, [this, c, at, len]() {
+      restart_cell(c);
+      schedule_crash_cycle(c, at + len);
+    });
+  });
+}
+
+void ShardedWorld::crash_cell(CellId c) {
+  assert(crashed_[static_cast<std::size_t>(c)] == 0 && "crash while down");
+  crashed_[static_cast<std::size_t>(c)] = 1;
+  ShardState& st = state_of(c);
+  ++st.avail.crashes;
+  down_since_[static_cast<std::size_t>(c)] = now_of(c);
+
+  // Live calls at c die with the MSS. Torn down in serial order (a
+  // canonical order both engines share), with no protocol messages: the
+  // neighbours learn of the crash from the silence (timeouts) and the
+  // eventual resync round, exactly like a real outage.
+  std::vector<std::uint64_t> torn;
+  for (const auto& [serial, call] : st.active) {
+    if (call.cellId == c) torn.push_back(serial);
+  }
+  std::sort(torn.begin(), torn.end());
+  trace_call_event(sim::TraceKind::kCrash, c, cell::kNoChannel, 0,
+                   static_cast<std::int64_t>(torn.size()));
+  for (const std::uint64_t serial : torn) {
+    const auto it = st.active.find(serial);
+    const cell::ChannelId ch = it->second.channel;
+    st.active.erase(it);
+    notify_released(c, ch);  // ground truth + usage + kRelease trace
+  }
+
+  // Wipe the allocator's volatile state; requests it was serving or
+  // queueing resolve as blocked-down through the runner's own path.
+  const std::vector<std::uint64_t> lost =
+      nodes_[static_cast<std::size_t>(c)]->crash_reset();
+  for (const std::uint64_t serial : lost) {
+    notify_blocked(c, serial, proto::Outcome::kBlockedDown, 0);
+  }
+}
+
+void ShardedWorld::restart_cell(CellId c) {
+  assert(crashed_[static_cast<std::size_t>(c)] != 0 && "restart while up");
+  crashed_[static_cast<std::size_t>(c)] = 0;
+  ShardState& st = state_of(c);
+  st.avail.down_us += static_cast<std::uint64_t>(
+      now_of(c) - down_since_[static_cast<std::size_t>(c)]);
+  restart_at_[static_cast<std::size_t>(c)] = now_of(c);
+  trace_call_event(sim::TraceKind::kRestart, c, cell::kNoChannel, 0);
+  nodes_[static_cast<std::size_t>(c)]->begin_resync();
+}
+
+void ShardedWorld::notify_resynced(CellId cellId, int rounds) {
+  ShardState& st = state_of(cellId);
+  ++st.avail.resyncs;
+  st.avail.resync_us += static_cast<std::uint64_t>(
+      now_of(cellId) - restart_at_[static_cast<std::size_t>(cellId)]);
+  st.avail.resync_rounds += static_cast<std::uint64_t>(rounds);
+  st.avail.max_resync_rounds = std::max(st.avail.max_resync_rounds,
+                                        static_cast<std::uint64_t>(rounds));
+  trace_call_event(sim::TraceKind::kResyncDone, cellId, cell::kNoChannel, 0,
+                   static_cast<std::int64_t>(rounds));
+}
+
+void ShardedWorld::reject_call_down(CellId c, std::uint64_t serial,
+                                    traffic::CallId call,
+                                    sim::Duration remaining, bool is_handoff) {
+  ShardState& st = state_of(c);
+  st.pending[serial] = PendingCall{call, remaining, is_handoff};
+  st.collector.open(serial, call, c, now_of(c), is_handoff);
+  trace_call_event(sim::TraceKind::kRequest, c, cell::kNoChannel, serial);
+  notify_blocked(c, serial, proto::Outcome::kBlockedDown, 0);
 }
 
 // -- call lifecycle --------------------------------------------------------
@@ -1027,7 +1201,7 @@ void ShardedWorld::notify_acquired(CellId cellId, std::uint64_t serial,
 void ShardedWorld::end_call(std::uint64_t serial, CellId cellId) {
   ShardState& st = state_of(cellId);
   const auto it = st.active.find(serial);
-  assert(it != st.active.end());
+  if (it == st.active.end()) return;  // torn down by a crash
   const ActiveCall state = it->second;
   st.active.erase(it);
   nodes_[static_cast<std::size_t>(state.cellId)]->release_channel(state.channel,
@@ -1068,6 +1242,11 @@ void ShardedWorld::handoff_arrival(const net::Message& msg) {
   if (ends <= t) return;  // call expired while in transit
   const auto call =
       static_cast<traffic::CallId>(traffic::mobility::call_of(msg.serial));
+  if (crashes_on_ && down_now(msg.to)) {
+    // Graceful degradation: the destination MSS cannot admit the call.
+    reject_call_down(msg.to, msg.serial, call, ends - t, /*is_handoff=*/true);
+    return;
+  }
   st.pending[msg.serial] = PendingCall{call, ends - t, /*is_handoff=*/true};
   st.collector.open(msg.serial, call, msg.to, t, /*is_handoff=*/true);
   trace_call_event(sim::TraceKind::kRequest, msg.to, cell::kNoChannel,
@@ -1138,7 +1317,7 @@ bool ShardedWorld::quiescent() const {
     if (st.collector.open_count() != 0) return false;
   }
   for (const auto& n : nodes_) {
-    if (n->busy() || n->queued() != 0) return false;
+    if (n->busy() || n->queued() != 0 || n->resyncing()) return false;
   }
   return true;
 }
@@ -1295,6 +1474,7 @@ RunResult ShardedWorld::result() {
           st.by_kind[static_cast<std::size_t>(k)];
     }
     out.violations += st.violations;
+    out.availability.merge(st.avail);
     out.transport.frames_dropped += st.tstats.frames_dropped;
     out.transport.frames_duplicated += st.tstats.frames_duplicated;
     out.transport.retransmissions += st.tstats.retransmissions;

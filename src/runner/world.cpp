@@ -1,10 +1,12 @@
 #include "runner/world.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "runner/node_factory.hpp"
 #include "traffic/mobility.hpp"
@@ -59,6 +61,13 @@ World::World(const ScenarioConfig& config, Scheme scheme,
       on_handoff_message(msg);
       return;
     }
+    // A crashed MSS loses inbound protocol traffic permanently (the NIC
+    // acks, the process is gone); senders resolve via their timeout
+    // paths. A *resyncing* node receives normally — it must, to collect
+    // its resync replies — it just admits no new traffic yet.
+    if (crashes_on_ && crashed_[static_cast<std::size_t>(msg.to)] != 0) {
+      return;
+    }
     current_cell_ = msg.to;
     nodes_[static_cast<std::size_t>(msg.to)]->on_message(msg);
     flag_check(msg.to);
@@ -73,6 +82,19 @@ World::World(const ScenarioConfig& config, Scheme scheme,
       pause_rng_.push_back(sim::RngStream::derive(
           config_.seed, 0x9a05e000ull + static_cast<std::uint64_t>(c)));
       schedule_pause_cycle(c);
+    }
+  }
+  if (config_.fault.crashes()) {
+    crashes_on_ = true;
+    const auto nc = static_cast<std::size_t>(grid_.n_cells());
+    crashed_.assign(nc, 0);
+    down_since_.assign(nc, 0);
+    restart_at_.assign(nc, 0);
+    crash_rng_.reserve(nc);
+    for (cell::CellId c = 0; c < grid_.n_cells(); ++c) {
+      crash_rng_.push_back(sim::RngStream::derive(
+          config_.seed, 0xCa45e000ull + static_cast<std::uint64_t>(c)));
+      schedule_crash_cycle(c);
     }
   }
 
@@ -101,6 +123,11 @@ void World::submit_call(const traffic::CallSpec& spec) {
   // Serial = encode(call id, hop 0): a pure function of the call, so the
   // classic and sharded engines agree on it without any shared counter.
   const std::uint64_t serial = traffic::mobility::encode_serial(spec.id, 0);
+  if (crashes_on_ && down_now(spec.cell)) {
+    reject_call_down(spec.cell, serial, spec.id, spec.holding,
+                     /*is_handoff=*/false);
+    return;
+  }
   pending_[serial] = PendingCall{spec.id, spec.holding, /*is_handoff=*/false};
   collector_.open(serial, spec.id, spec.cell, sim_.now(), /*is_handoff=*/false);
   trace_call_event(sim::TraceKind::kRequest, spec.cell, cell::kNoChannel, serial);
@@ -183,6 +210,96 @@ void World::schedule_pause_cycle(cell::CellId c) {
   });
 }
 
+void World::schedule_crash_cycle(cell::CellId c) {
+  // Exponential gap between crash onsets, exponential outage length; each
+  // cell draws from its own derived stream (label 0xCa45e000 + c) so the
+  // crash schedule is a pure function of (config, seed), independent of
+  // event interleaving and identical across engines. No onset past the
+  // arrival horizon: the drain phase restarts every down cell and then
+  // stays crash-free, keeping quiescence reachable.
+  auto& rng = crash_rng_[static_cast<std::size_t>(c)];
+  const double gap_s =
+      rng.exponential_mean(60.0 / config_.fault.crash_rate_per_min);
+  const sim::SimTime at = sim_.now() + sim::from_seconds(gap_s);
+  if (at >= config_.duration) return;
+  const double len_s = rng.exponential_mean(config_.fault.crash_mean_s);
+  const sim::Duration len = std::max<sim::Duration>(sim::from_seconds(len_s), 1);
+  sim_.schedule_at(at, [this, c, len]() {
+    crash_cell(c);
+    sim_.schedule_in(len, [this, c]() {
+      restart_cell(c);
+      schedule_crash_cycle(c);
+    });
+  });
+}
+
+void World::crash_cell(cell::CellId c) {
+  assert(crashed_[static_cast<std::size_t>(c)] == 0 && "crash while down");
+  crashed_[static_cast<std::size_t>(c)] = 1;
+  ++avail_.crashes;
+  down_since_[static_cast<std::size_t>(c)] = sim_.now();
+
+  // Live calls at c die with the MSS. Torn down in serial order (a
+  // canonical order both engines share), with no protocol messages: the
+  // neighbours learn of the crash from the silence (timeouts) and the
+  // eventual resync round, exactly like a real outage.
+  std::vector<std::uint64_t> torn;
+  for (const auto& [serial, call] : active_) {
+    if (call.cellId == c) torn.push_back(serial);
+  }
+  std::sort(torn.begin(), torn.end());
+  trace_call_event(sim::TraceKind::kCrash, c, cell::kNoChannel, 0,
+                   static_cast<std::int64_t>(torn.size()));
+  for (const std::uint64_t serial : torn) {
+    const auto it = active_.find(serial);
+    const cell::ChannelId ch = it->second.channel;
+    active_.erase(it);
+    notify_released(c, ch);  // ground truth + usage + kRelease trace
+  }
+
+  // Wipe the allocator's volatile state; requests it was serving or
+  // queueing resolve as blocked-down through the runner's own path.
+  current_cell_ = c;
+  const std::vector<std::uint64_t> lost =
+      nodes_[static_cast<std::size_t>(c)]->crash_reset();
+  for (const std::uint64_t serial : lost) {
+    notify_blocked(c, serial, proto::Outcome::kBlockedDown, 0);
+  }
+  flag_check(c);
+}
+
+void World::restart_cell(cell::CellId c) {
+  assert(crashed_[static_cast<std::size_t>(c)] != 0 && "restart while up");
+  crashed_[static_cast<std::size_t>(c)] = 0;
+  avail_.down_us +=
+      static_cast<std::uint64_t>(sim_.now() - down_since_[static_cast<std::size_t>(c)]);
+  restart_at_[static_cast<std::size_t>(c)] = sim_.now();
+  trace_call_event(sim::TraceKind::kRestart, c, cell::kNoChannel, 0);
+  current_cell_ = c;
+  nodes_[static_cast<std::size_t>(c)]->begin_resync();
+  flag_check(c);
+}
+
+void World::notify_resynced(cell::CellId cellId, int rounds) {
+  ++avail_.resyncs;
+  avail_.resync_us += static_cast<std::uint64_t>(
+      sim_.now() - restart_at_[static_cast<std::size_t>(cellId)]);
+  avail_.resync_rounds += static_cast<std::uint64_t>(rounds);
+  avail_.max_resync_rounds = std::max(avail_.max_resync_rounds,
+                                      static_cast<std::uint64_t>(rounds));
+  trace_call_event(sim::TraceKind::kResyncDone, cellId, cell::kNoChannel, 0,
+                   static_cast<std::int64_t>(rounds));
+}
+
+void World::reject_call_down(cell::CellId c, std::uint64_t serial,
+                             traffic::CallId call, sim::Duration remaining,
+                             bool is_handoff) {
+  pending_[serial] = PendingCall{call, remaining, is_handoff};
+  collector_.open(serial, call, c, sim_.now(), is_handoff);
+  trace_call_event(sim::TraceKind::kRequest, c, cell::kNoChannel, serial);
+  notify_blocked(c, serial, proto::Outcome::kBlockedDown, 0);
+}
+
 sim::SimTime World::now() const { return sim_.now(); }
 
 void World::send(net::Message msg) { net_->send(std::move(msg)); }
@@ -257,7 +374,7 @@ void World::schedule_call_progress(std::uint64_t serial, ActiveCall state) {
 
 void World::end_or_handoff(std::uint64_t serial) {
   const auto it = active_.find(serial);
-  assert(it != active_.end());
+  if (it == active_.end()) return;  // torn down by a crash
   const ActiveCall state = it->second;
   active_.erase(it);
 
@@ -301,6 +418,12 @@ void World::on_handoff_message(const net::Message& msg) {
   if (ends <= sim_.now()) return;  // call expired while in transit
   const auto call = static_cast<traffic::CallId>(
       traffic::mobility::call_of(msg.serial));
+  if (crashes_on_ && down_now(msg.to)) {
+    // Graceful degradation: the destination MSS cannot admit the call.
+    reject_call_down(msg.to, msg.serial, call, ends - sim_.now(),
+                     /*is_handoff=*/true);
+    return;
+  }
   pending_[msg.serial] =
       PendingCall{call, ends - sim_.now(), /*is_handoff=*/true};
   collector_.open(msg.serial, call, msg.to, sim_.now(), /*is_handoff=*/true);
@@ -395,7 +518,7 @@ bool World::quiescent() const {
   if (!pending_.empty()) return false;
   if (collector_.open_count() != 0) return false;
   for (const auto& n : nodes_) {
-    if (n->busy() || n->queued() != 0) return false;
+    if (n->busy() || n->queued() != 0 || n->resyncing()) return false;
   }
   return true;
 }

@@ -16,6 +16,7 @@
 
 #include "cell/grid.hpp"
 #include "cell/reuse.hpp"
+#include "metrics/availability.hpp"
 #include "metrics/collector.hpp"
 #include "net/network.hpp"
 #include "proto/allocator.hpp"
@@ -55,6 +56,7 @@ class World final : public proto::NodeEnv {
   void notify_released(cell::CellId cellId, cell::ChannelId ch) override;
   void notify_reassigned(cell::CellId cellId, cell::ChannelId from_ch,
                          cell::ChannelId to_ch) override;
+  void notify_resynced(cell::CellId cellId, int rounds) override;
   sim::RngStream& rng(cell::CellId cellId) override;
   sim::EventId schedule_in(sim::Duration delay, sim::TimerFn fn) override;
   void cancel_scheduled(sim::EventId id) override;
@@ -91,6 +93,15 @@ class World final : public proto::NodeEnv {
   /// Intra-cell channel reassignments performed (repacking extension).
   [[nodiscard]] std::uint64_t reassignments() const noexcept {
     return reassignments_;
+  }
+  /// Crash/resync availability accounting (all zeros with crashes off).
+  [[nodiscard]] const metrics::Availability& availability() const noexcept {
+    return avail_;
+  }
+  /// Is cell c currently crashed or still resynchronizing?
+  [[nodiscard]] bool down_now(cell::CellId c) const {
+    return (crashes_on_ && crashed_[static_cast<std::size_t>(c)] != 0) ||
+           nodes_[static_cast<std::size_t>(c)]->resyncing();
   }
   /// Calls currently holding a channel.
   [[nodiscard]] std::size_t active_calls() const noexcept { return active_.size(); }
@@ -133,6 +144,13 @@ class World final : public proto::NodeEnv {
   void flag_check(cell::CellId c);
   void schedule_call_progress(std::uint64_t serial, ActiveCall state);
   void schedule_pause_cycle(cell::CellId c);
+  void schedule_crash_cycle(cell::CellId c);
+  void crash_cell(cell::CellId c);
+  void restart_cell(cell::CellId c);
+  /// Opens and immediately blocks a call offered to a down cell.
+  void reject_call_down(cell::CellId c, std::uint64_t serial,
+                        traffic::CallId call, sim::Duration remaining,
+                        bool is_handoff);
   void trace_call_event(sim::TraceKind kind, cell::CellId cellId,
                         cell::ChannelId ch, std::uint64_t serial,
                         std::int64_t a = 0);
@@ -151,6 +169,7 @@ class World final : public proto::NodeEnv {
   std::vector<std::unique_ptr<proto::AllocatorNode>> nodes_;
   std::vector<sim::RngStream> node_rng_;
   std::vector<sim::RngStream> pause_rng_;  // per-cell MSS pause timeline
+  std::vector<sim::RngStream> crash_rng_;  // per-cell crash/restart timeline
   radio::NoiseField noise_;
   metrics::Collector collector_;
   sim::TraceRecorder* recorder_ = nullptr;
@@ -167,6 +186,13 @@ class World final : public proto::NodeEnv {
   std::vector<cell::ChannelSet> truth_;                     // ground-truth usage
   std::uint64_t violations_ = 0;
   std::uint64_t reassignments_ = 0;
+
+  // Crash-recovery state (sized even with crashes off; cheap).
+  bool crashes_on_ = false;
+  std::vector<std::uint8_t> crashed_;        // currently off the air
+  std::vector<sim::SimTime> down_since_;     // crash instant, per cell
+  std::vector<sim::SimTime> restart_at_;     // last restart instant, per cell
+  metrics::Availability avail_;
 
   // Time-weighted channel-usage integral (channel-microseconds).
   void accumulate_usage();

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "sim/event_queue.hpp"
+#include "sim/small_fn.hpp"
 #include "sim/types.hpp"
 
 namespace dca::sim {
@@ -43,6 +44,20 @@ class Simulator {
   /// Cancels a scheduled event (no-op if it already fired).
   void cancel(EventId id) { queue_.cancel(id); }
 
+  /// Installs a hook that runs at the end of every simulated instant:
+  /// after the last pending event at some time t has fired and before the
+  /// clock can advance (or the queue drains). The hook may schedule new
+  /// events, including at the current instant — that re-arms it for the
+  /// same t. Hook invocations are not counted in executed(): the network
+  /// uses this to flush its canonical per-receiver arrival batches without
+  /// perturbing the replay fingerprint. One hook per simulator; installing
+  /// replaces the previous one.
+  template <typename F>
+  void set_instant_hook(F&& hook) {
+    instant_hook_.assign(std::forward<F>(hook));
+  }
+  void clear_instant_hook() noexcept { instant_hook_.reset(); }
+
   /// Executes the single earliest pending event.
   /// Returns false when the event set is empty (time does not advance).
   bool step() {
@@ -51,6 +66,9 @@ class Simulator {
     now_ = fired.when;
     ++executed_;
     fired.action();
+    if (instant_hook_ && (queue_.empty() || queue_.next_time() > now_)) {
+      instant_hook_();
+    }
     return true;
   }
 
@@ -81,6 +99,7 @@ class Simulator {
 
  private:
   EventQueue queue_;
+  EventFn instant_hook_;
   SimTime now_ = kTimeZero;
   std::uint64_t executed_ = 0;
 };

@@ -12,6 +12,7 @@
 // schema fixed.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -38,6 +39,9 @@ enum class TraceKind : std::uint8_t {
   kRunEnd = 12,      // end of run (after drain)         (t only)
   kHandoffLeave = 13, // mobile left its cell mid-call   (cell=old, peer=dest, serial=new, a=hop, b=ends)
   kHandoffRecv = 14,  // handoff message arrived          (cell=dest, peer=old, serial, a=hop, b=ends)
+  kCrash = 15,       // MSS crashed, volatile state lost (cell, a=calls torn down)
+  kRestart = 16,     // MSS back up, cold, resyncing     (cell)
+  kResyncDone = 17,  // resync complete, traffic admitted (cell, a=rounds)
 };
 
 [[nodiscard]] inline const char* trace_kind_name(TraceKind k) {
@@ -57,6 +61,9 @@ enum class TraceKind : std::uint8_t {
     case TraceKind::kRunEnd: return "run_end";
     case TraceKind::kHandoffLeave: return "handoff_leave";
     case TraceKind::kHandoffRecv: return "handoff_recv";
+    case TraceKind::kCrash: return "crash";
+    case TraceKind::kRestart: return "restart";
+    case TraceKind::kResyncDone: return "resync_done";
   }
   return "?";
 }
@@ -128,6 +135,28 @@ class TraceRecorder {
   }
 
   [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Stable-sorts the buffered events into the canonical (t, cell) order —
+  /// the order the sharded engine's fold merge emits. The classic engine
+  /// records in execution order, which agrees with the canonical order
+  /// except when a same-instant tie spans cells out of ascending order
+  /// (e.g. a transport RTO on one cell against a frame delivery landing on
+  /// a lower-numbered cell). Such ties only ever reorder causally
+  /// unrelated events — cross-cell causality rides on messages, which
+  /// impose at least one latency of separation — so sorting changes the
+  /// observable trace, never the semantics. No-op in sink mode: sinks see
+  /// events as they are recorded.
+  void canonicalize() {
+    if (sink_ || count_ == 0) return;
+    std::vector<TraceEvent> sorted = events();
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.t != b.t ? a.t < b.t : a.cell < b.cell;
+                     });
+    const std::size_t n = count_;
+    clear();
+    for (std::size_t i = 0; i < n; ++i) emit(sorted[i]);
+  }
 
   void clear() {
     chunks_.clear();

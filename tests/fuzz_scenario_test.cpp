@@ -178,8 +178,31 @@ RandomScenario draw_faulty(sim::RngStream& rng) {
     s.cfg.fault.pause_rate_per_min = rng.uniform(0.1, 1.5);
     s.cfg.fault.pause_mean_s = rng.uniform(0.2, 2.0);
   }
-  // Timers are mandatory with pauses and sensible with any fault: long
-  // enough that fault-free handshakes never trip them spuriously.
+  if (rng.bernoulli(0.4)) {
+    s.cfg.fault.crash_rate_per_min = rng.uniform(0.2, 3.0);
+    s.cfg.fault.crash_mean_s = rng.uniform(0.5, 4.0);
+  }
+  if (rng.bernoulli(0.3)) {
+    // One or two partition groups of random cells and windows. Dup cells
+    // within a group are harmless (membership is a bitmap).
+    const int n_cells = s.cfg.rows * s.cfg.cols;
+    const int groups = rng.bernoulli(0.5) ? 1 : 2;
+    for (int g = 0; g < groups; ++g) {
+      net::PartitionSpec p;
+      const auto sz = static_cast<int>(rng.uniform_int(1, 4));
+      for (int i = 0; i < sz; ++i)
+        p.cells.push_back(
+            static_cast<cell::CellId>(rng.uniform_int(0, n_cells - 1)));
+      p.start = static_cast<sim::SimTime>(
+          rng.uniform_int(sim::seconds(5), sim::seconds(100)));
+      p.end = p.start + static_cast<sim::Duration>(
+                            rng.uniform_int(sim::seconds(2), sim::seconds(30)));
+      s.cfg.fault.partitions.push_back(p);
+    }
+  }
+  // Timers are mandatory with pauses, crashes, and partitions, and
+  // sensible with any fault: long enough that fault-free handshakes never
+  // trip them spuriously.
   s.cfg.request_timeout = rng.uniform_int(200'000, 1'500'000);  // 0.2..1.5 s
   return s;
 }
@@ -199,8 +222,54 @@ TEST(FuzzScenario, FaultCocktailNeverBreaksInvariantsOrQuiescence) {
                  << s.cfg.seed);
     EXPECT_EQ(r.violations, 0u);
     EXPECT_TRUE(r.quiescent) << "faults may delay or abort calls, never wedge them";
-    EXPECT_EQ(r.agg.offered,
-              r.agg.acquired + r.agg.blocked + r.agg.starved + r.agg.timed_out);
+    EXPECT_EQ(r.agg.offered, r.agg.acquired + r.agg.blocked + r.agg.starved +
+                                 r.agg.timed_out + r.agg.downed);
+  }
+}
+
+TEST(FuzzScenario, CrashCocktailShardedMatchesClassic) {
+  // Cross-engine equivalence with the crash-recovery fault model forced
+  // on, layered over the random fault cocktail (drops, dups, jitter,
+  // pauses, partitions) and frequent mobility: full traces and
+  // availability accounting must be bit-identical at any shard count.
+  sim::RngStream rng(0xC4A54);
+  for (int trial = 0; trial < 6; ++trial) {
+    RandomScenario s = draw_faulty(rng);
+    s.cfg.fault.crash_rate_per_min = rng.uniform(0.5, 3.0);
+    s.cfg.fault.crash_mean_s = rng.uniform(0.5, 3.0);
+    if (rng.bernoulli(0.6)) s.cfg.mean_dwell_s = rng.uniform(20.0, 90.0);
+    SCOPED_TRACE(testing::Message()
+                 << "trial " << trial << " scheme "
+                 << runner::scheme_name(s.scheme) << " grid " << s.cfg.rows
+                 << "x" << s.cfg.cols << " crash "
+                 << s.cfg.fault.crash_rate_per_min << "/min x "
+                 << s.cfg.fault.crash_mean_s << "s partitions "
+                 << s.cfg.fault.partitions.size() << " seed " << s.cfg.seed);
+
+    runner::ScenarioConfig classic_cfg = s.cfg;
+    classic_cfg.shards = 1;
+    sim::TraceRecorder rec_classic;
+    const RunResult a =
+        runner::run_uniform(classic_cfg, s.scheme, s.rho, &rec_classic);
+    EXPECT_EQ(a.violations, 0u);
+    EXPECT_TRUE(a.quiescent);
+
+    for (const int shards : {2, 4}) {
+      runner::ScenarioConfig sharded_cfg = s.cfg;
+      sharded_cfg.shards = std::min(shards, s.cfg.rows * s.cfg.cols);
+      sharded_cfg.threads = static_cast<int>(rng.uniform_int(0, 4));
+      sim::TraceRecorder rec_sharded;
+      const RunResult b =
+          runner::run_uniform(sharded_cfg, s.scheme, s.rho, &rec_sharded);
+      EXPECT_EQ(a.agg.offered, b.agg.offered);
+      EXPECT_EQ(a.agg.downed, b.agg.downed);
+      EXPECT_EQ(a.total_messages, b.total_messages);
+      EXPECT_EQ(a.carried_erlangs, b.carried_erlangs);
+      EXPECT_EQ(a.availability, b.availability);
+      EXPECT_EQ(b.violations, 0u);
+      EXPECT_EQ(rec_classic.events(), rec_sharded.events())
+          << "engine traces diverged at shards=" << sharded_cfg.shards;
+    }
   }
 }
 

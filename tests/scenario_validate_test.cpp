@@ -89,6 +89,53 @@ TEST(ValidateScenario, ParameterRangeChecks) {
   EXPECT_NE(validate_scenario(c).find("dwell"), std::string::npos);
 }
 
+TEST(ValidateScenario, CrashKnobChecks) {
+  ScenarioConfig c;
+  c.fault.crash_rate_per_min = -1.0;
+  EXPECT_EQ(validate_scenario(c), "crash rate cannot be negative");
+  c = ScenarioConfig{};
+  c.fault.crash_mean_s = -0.1;
+  EXPECT_EQ(validate_scenario(c), "crash_mean_s cannot be negative");
+  // A crash rate with a zero outage length is a contradiction, not a
+  // no-op: reject it rather than silently schedule zero-length crashes.
+  c = ScenarioConfig{};
+  c.fault.crash_rate_per_min = 1.0;
+  c.fault.crash_mean_s = 0.0;
+  c.request_timeout = sim::milliseconds(400);
+  EXPECT_EQ(validate_scenario(c),
+            "crash_mean_s must be positive when crashes are enabled");
+  // Crashes orphan handshakes; without a request timeout the victims
+  // would hang forever.
+  c.fault.crash_mean_s = 2.0;
+  c.request_timeout = 0;
+  EXPECT_EQ(validate_scenario(c),
+            "MSS crashes orphan in-flight handshakes; set request_timeout");
+  c.request_timeout = sim::milliseconds(400);
+  EXPECT_EQ(validate_scenario(c), "");
+}
+
+TEST(ValidateScenario, PartitionSpecChecks) {
+  ScenarioConfig c;  // 8x8 grid: cells 0..63
+  c.request_timeout = sim::milliseconds(400);
+  c.fault.partitions = {net::PartitionSpec{{}, sim::seconds(1), sim::seconds(2)}};
+  EXPECT_EQ(validate_scenario(c), "partition group must name at least one cell");
+  c.fault.partitions = {net::PartitionSpec{{3}, sim::seconds(2), sim::seconds(2)}};
+  EXPECT_EQ(validate_scenario(c),
+            "partition interval must satisfy start < end");
+  c.fault.partitions = {net::PartitionSpec{{64}, sim::seconds(1), sim::seconds(2)}};
+  EXPECT_EQ(validate_scenario(c),
+            "partition cell 64 outside the grid (cells are 0..63)");
+  c.fault.partitions = {net::PartitionSpec{{-1}, sim::seconds(1), sim::seconds(2)}};
+  EXPECT_EQ(validate_scenario(c),
+            "partition cell -1 outside the grid (cells are 0..63)");
+  c.fault.partitions = {net::PartitionSpec{{3, 4}, sim::seconds(1), sim::seconds(2)}};
+  EXPECT_EQ(validate_scenario(c), "");
+  c.request_timeout = 0;
+  EXPECT_EQ(validate_scenario(c),
+            "network partitions stall handshakes until the heal; set "
+            "request_timeout");
+}
+
 TEST(ValidateScenario, ShardedEngineConstraints) {
   ScenarioConfig c;
   c.shards = 0;

@@ -77,6 +77,11 @@ int main(int argc, char** argv) {
       .add_double("fault-jitter-ms", 0.0, "fault: extra per-frame jitter [ms]")
       .add_double("pause-rate", 0.0, "fault: MSS pauses per minute per cell")
       .add_double("pause-mean-s", 0.0, "fault: mean MSS pause length [s]")
+      .add_double("crash-rate", 0.0, "fault: MSS crashes per minute per cell")
+      .add_double("crash-mean-s", 0.0, "fault: mean MSS outage length [s]")
+      .add_string("net-partition", "",
+                  "fault: scheduled partitions 'cells@start_s..end_s', "
+                  "';'-separated, e.g. '0,1,8@300..420;9@600..700'")
       .add_double("timeout-ms", 0.0, "protocol request timeout (0 = no timers)")
       .add_int("shards", 1, "event-engine shards (1 = classic engine)")
       .add_int("threads", 0, "sharded-engine workers (0 = one per shard)")
@@ -167,6 +172,26 @@ int main(int argc, char** argv) {
     cfg.fault.jitter = sim::from_seconds(args.get_double("fault-jitter-ms") / 1000.0);
   if (use("pause-rate")) cfg.fault.pause_rate_per_min = args.get_double("pause-rate");
   if (use("pause-mean-s")) cfg.fault.pause_mean_s = args.get_double("pause-mean-s");
+  if (use("crash-rate")) cfg.fault.crash_rate_per_min = args.get_double("crash-rate");
+  if (use("crash-mean-s")) cfg.fault.crash_mean_s = args.get_double("crash-mean-s");
+  if (args.was_set("net-partition")) {
+    // Reuse the scenario-file grammar: each ';'-separated chunk is one
+    // "net_partition = cells @ start_s..end_s" line.
+    std::string rest = args.get_string("net-partition");
+    while (!rest.empty()) {
+      const auto semi = rest.find(';');
+      const std::string chunk = rest.substr(0, semi);
+      rest = semi == std::string::npos ? "" : rest.substr(semi + 1);
+      if (chunk.empty()) continue;
+      std::string err;
+      if (!runner::apply_scenario_text("net_partition = " + chunk + "\n", cfg,
+                                       err)) {
+        std::fprintf(stderr, "dcasim: bad --net-partition chunk '%s': %s\n",
+                     chunk.c_str(), err.c_str());
+        return 2;
+      }
+    }
+  }
   if (use("timeout-ms"))
     cfg.request_timeout = sim::from_seconds(args.get_double("timeout-ms") / 1000.0);
   if (use("shards")) cfg.shards = static_cast<int>(args.get_int("shards"));
@@ -380,6 +405,15 @@ int main(int argc, char** argv) {
     json.value(r.violations);
     json.key("quiescent");
     json.value(r.quiescent);
+    json.key("downed");
+    json.value(r.agg.downed);
+    json.key("crashes");
+    json.value(r.availability.crashes);
+    json.key("uptime_fraction");
+    json.value(r.availability.uptime_fraction(cfg.duration,
+                                              cfg.rows * cfg.cols));
+    json.key("mean_time_to_resync_s");
+    json.value(r.availability.mean_time_to_resync_s());
     json.key("peak_rss_bytes");
     json.value(r.peak_rss_bytes);
     json.end_object();

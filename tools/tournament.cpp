@@ -13,7 +13,8 @@
 //
 // Columns: blocking% (drop rate over offered requests), retry (mean borrow
 // attempts over update-style acquisitions), msgs/call, events/sec (engine
-// throughput), plus the scenario axes. Simulation outputs depend only on
+// throughput), uptime% and mttr_s (crash-recovery availability; 100 / 0 on
+// crash-free axes), plus the scenario axes. Simulation outputs depend only on
 // (scenario, scheme, policy, seed) — never on shards/threads — so a shards
 // axis row differing from its shards=1 twin in anything but events/sec is
 // itself a regression.
@@ -35,7 +36,7 @@ using namespace dca;
 struct Axes {
   double rho = 0.7;
   const char* profile = "uniform";  // uniform | hotspot
-  const char* fault = "clean";      // clean | lossy
+  const char* fault = "clean";      // clean | lossy | crashy
   bool mobility = false;
   int shards = 1;
 };
@@ -48,6 +49,9 @@ struct Row {
   double retry = 0.0;
   double msgs_per_call = 0.0;
   double events_per_sec = 0.0;
+  double uptime_pct = 100.0;
+  double mttr_s = 0.0;  // mean restart -> resync-done latency
+  std::uint64_t crashes = 0;
   std::uint64_t offered = 0;
   std::uint64_t violations = 0;
   bool quiescent = false;
@@ -83,6 +87,13 @@ runner::ScenarioConfig configure(const Axes& a, bool smoke) {
     c.fault.drop_prob = 0.05;
     c.fault.dup_prob = 0.02;
     c.request_timeout = sim::milliseconds(500);
+  } else if (std::strcmp(a.fault, "crashy") == 0) {
+    // Lossy links plus the crash-recovery fault model: stations fail and
+    // cold-restart mid-run, so rows also report uptime and resync latency.
+    c.fault.drop_prob = 0.02;
+    c.fault.crash_rate_per_min = 1.0;
+    c.fault.crash_mean_s = 2.0;
+    c.request_timeout = sim::milliseconds(500);
   }
   return c;
 }
@@ -115,6 +126,10 @@ Row run_one(const Axes& a, runner::Scheme scheme, const std::string& schemeName,
   row.msgs_per_call = r.agg.messages_per_call.mean();
   row.events_per_sec =
       wall > 0 ? static_cast<double>(r.executed_events) / wall : 0.0;
+  row.uptime_pct =
+      100.0 * r.availability.uptime_fraction(c.duration, c.rows * c.cols);
+  row.mttr_s = r.availability.mean_time_to_resync_s();
+  row.crashes = r.availability.crashes;
   row.offered = r.agg.offered;
   row.violations = r.violations;
   row.quiescent = r.quiescent;
@@ -158,7 +173,7 @@ int main(int argc, char** argv) {
   } else {
     for (const double rho : {0.5, 0.9})
       for (const char* profile : {"uniform", "hotspot"})
-        for (const char* fault : {"clean", "lossy"})
+        for (const char* fault : {"clean", "lossy", "crashy"})
           for (const bool mobility : {false, true})
             for (const int shards : {1, 4})
               matrix.push_back(Axes{rho, profile, fault, mobility, shards});
@@ -229,7 +244,8 @@ int main(int argc, char** argv) {
   }
 
   metrics::Table table({"scheme", "policy", "rho", "profile", "fault", "mob",
-                        "shards", "block%", "retry", "msgs/call", "ev/s"});
+                        "shards", "block%", "retry", "msgs/call", "ev/s",
+                        "uptime%", "mttr_s"});
   for (const Row& r : rows) {
     table.add_row({r.scheme, r.policy, metrics::Table::num(r.axes.rho, 1),
                    r.axes.profile, r.axes.fault, r.axes.mobility ? "on" : "off",
@@ -237,7 +253,9 @@ int main(int argc, char** argv) {
                    metrics::Table::num(r.blocking_pct, 2),
                    metrics::Table::num(r.retry, 2),
                    metrics::Table::num(r.msgs_per_call, 1),
-                   metrics::Table::num(r.events_per_sec, 0)});
+                   metrics::Table::num(r.events_per_sec, 0),
+                   metrics::Table::num(r.uptime_pct, 2),
+                   metrics::Table::num(r.mttr_s, 2)});
   }
   const std::string text = table.render();
   std::printf("\n%s", text.c_str());
@@ -277,6 +295,12 @@ int main(int argc, char** argv) {
     w.value(r.msgs_per_call);
     w.key("events_per_sec");
     w.value(r.events_per_sec);
+    w.key("uptime_fraction");
+    w.value(r.uptime_pct / 100.0);
+    w.key("mean_time_to_resync_s");
+    w.value(r.mttr_s);
+    w.key("crashes");
+    w.value(r.crashes);
     w.key("offered");
     w.value(r.offered);
     w.key("violations");
